@@ -1,0 +1,81 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (see DESIGN.md §3 for the experiment index).
+// Each benchmark runs the corresponding experiment in Quick mode so that
+// `go test -bench=. -benchmem` completes in minutes; run the full sweeps
+// with cmd/ccsim.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiment.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(experiment.Config{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty result table")
+		}
+	}
+}
+
+// BenchmarkTable1Headline regenerates Table 1: CCSA vs NONCOOP vs OPT
+// average comprehensive cost (paper: −27.3% / +7.3%).
+func BenchmarkTable1Headline(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig3CostVsDevices regenerates Fig 3: cost vs number of devices.
+func BenchmarkFig3CostVsDevices(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4CostVsChargers regenerates Fig 4: cost vs number of
+// chargers.
+func BenchmarkFig4CostVsChargers(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5CostVsDemand regenerates Fig 5: cost vs energy-demand
+// scale.
+func BenchmarkFig5CostVsDemand(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6CostVsMoveRate regenerates Fig 6: cost vs moving-cost rate.
+func BenchmarkFig6CostVsMoveRate(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Runtime regenerates Fig 7: CCSA vs CCSGA solve time
+// (paper: CCSGA "much faster").
+func BenchmarkFig7Runtime(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Convergence regenerates Fig 8: CCSGA switch operations and
+// pure-Nash convergence.
+func BenchmarkFig8Convergence(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Sharing regenerates Fig 9: PDS vs ESS cost-sharing
+// comparison.
+func BenchmarkFig9Sharing(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkTable2Field regenerates Table 2: the emulated 5-charger/8-node
+// field experiment (paper: CCSA −42.9% vs NONCOOP).
+func BenchmarkTable2Field(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig10Lifetime regenerates the supporting network-lifetime
+// simulation.
+func BenchmarkFig10Lifetime(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkExt1Capacity regenerates the capacitated-CCS extension sweep.
+func BenchmarkExt1Capacity(b *testing.B) { benchExperiment(b, "ext1-capacity") }
+
+// BenchmarkExt2Dispatch regenerates the mobile-charger dispatch
+// extension sweep.
+func BenchmarkExt2Dispatch(b *testing.B) { benchExperiment(b, "ext2-dispatch") }
+
+// BenchmarkExt3Online regenerates the online-arrivals extension sweep.
+func BenchmarkExt3Online(b *testing.B) { benchExperiment(b, "ext3-online") }
+
+// BenchmarkExt4Auction regenerates the procurement-auction extension.
+func BenchmarkExt4Auction(b *testing.B) { benchExperiment(b, "ext4-auction") }

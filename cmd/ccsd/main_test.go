@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/testbed"
+)
+
+// TestDaemonEndToEnd runs ccsd's run() against in-process agents: the
+// same wire protocol the standalone ccsnode processes speak.
+func TestDaemonEndToEnd(t *testing.T) {
+	pr, pw := io.Pipe()
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = pw.Close() }()
+		runErr = run([]string{
+			"-listen", "127.0.0.1:0",
+			"-devices", "2", "-chargers", "1",
+			"-scheduler", "CCSA",
+			"-timeout", "5s",
+		}, pw)
+	}()
+
+	scanner := bufio.NewScanner(pr)
+	if !scanner.Scan() {
+		t.Fatal("no listen line from daemon")
+	}
+	first := scanner.Text()
+	if !strings.HasPrefix(first, "listening on ") {
+		t.Fatalf("unexpected first line %q", first)
+	}
+	addr := strings.Fields(strings.TrimPrefix(first, "listening on "))[0]
+
+	ch, err := testbed.StartChargerAgent(addr, testbed.ChargerState{
+		ID: "c1", Pos: geom.Pt(50, 50), Fee: 5,
+		TariffCoeff: 0.12, TariffExponent: 0.85, Efficiency: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ch.Close() }()
+	for i, pos := range []geom.Point{geom.Pt(10, 10), geom.Pt(20, 30)} {
+		a, err := testbed.StartDeviceAgent(addr, testbed.DeviceState{
+			ID: "d" + string(rune('1'+i)), Pos: pos, DemandJ: 120, MoveRate: 0.05,
+		}, testbed.DefaultNoise(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+	}
+
+	var rest strings.Builder
+	for scanner.Scan() {
+		rest.WriteString(scanner.Text())
+		rest.WriteByte('\n')
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("daemon: %v", runErr)
+	}
+	out := rest.String()
+	for _, want := range []string{"all agents registered", "planned cost", "executed: measured cost"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scheduler", "MAGIC"}, &buf); err == nil {
+		t.Error("unknown scheduler should error")
+	}
+	if err := run([]string{"-listen", "256.0.0.1:99999"}, &buf); err == nil {
+		t.Error("bad listen address should error")
+	}
+}
+
+func TestDaemonRegistrationTimeout(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	start := time.Now()
+	err := run([]string{"-devices", "1", "-chargers", "0", "-timeout", "100ms"}, w)
+	if err == nil {
+		t.Error("expected timeout error")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Error("timeout took too long")
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

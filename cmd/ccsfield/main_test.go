@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFieldExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trials", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NONCOOP", "CCSA", "CCSGA", "OPT", "paper: 42.9%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleScheduler(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trials", "1", "-scheduler", "CCSA"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "NONCOOP") {
+		t.Errorf("single-scheduler run should not include NONCOOP:\n%s", out)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-trials", "1", "-fee", "12", "-noise", "0.1", "-scheduler", "CCSA"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fee $12.0") {
+		t.Errorf("fee override not reflected:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-scheduler", "MAGIC"}, &buf); err == nil {
+		t.Error("unknown scheduler should error")
+	}
+}

@@ -1,0 +1,135 @@
+// Command ccsgen generates CCS problem instances as JSON, or solves an
+// instance read from a file/stdin with a chosen algorithm.
+//
+// Usage:
+//
+//	ccsgen -n 20 -m 6 -seed 42 > instance.json
+//	ccsgen -field > testbed.json
+//	ccsgen -solve instance.json -scheduler CCSA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsgen", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 10, "number of devices")
+		m         = fs.Int("m", 4, "number of chargers")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		field     = fs.Bool("field", false, "emit the deterministic 5-charger/8-node testbed instance")
+		clustered = fs.Bool("clustered", false, "cluster device positions around hotspots")
+		solve     = fs.String("solve", "", "solve the instance in this JSON file ('-' for stdin) instead of generating")
+		schedName = fs.String("scheduler", "CCSA", "scheduler for -solve: NONCOOP | CCSGA | CCSA | OPT")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *solve != "" {
+		return solveInstance(out, *solve, *schedName)
+	}
+
+	var (
+		in  *core.Instance
+		err error
+	)
+	if *field {
+		in, err = gen.FieldExperiment(gen.DefaultFieldParams())
+	} else {
+		p := gen.Default()
+		p.NumDevices = *n
+		p.NumChargers = *m
+		if *clustered {
+			p.DeviceLayout = gen.Clustered
+		}
+		in, err = gen.Instance(*seed, p)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := gen.EncodeInstance(in)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", data)
+	return err
+}
+
+func solveInstance(out io.Writer, path, schedName string) error {
+	var (
+		data []byte
+		err  error
+	)
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	in, err := gen.DecodeInstance(data)
+	if err != nil {
+		return err
+	}
+	cm, err := core.NewCostModel(in)
+	if err != nil {
+		return err
+	}
+
+	var sched core.Scheduler
+	switch schedName {
+	case "NONCOOP":
+		sched = core.NoncoopScheduler{}
+	case "CCSGA":
+		sched = core.CCSGAScheduler{}
+	case "CCSA":
+		sched = core.CCSAScheduler{}
+	case "OPT":
+		sched = core.OptimalScheduler{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+	s, err := sched.Schedule(cm)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "%s schedule — total comprehensive cost $%.2f (noncoop $%.2f, lower bound $%.2f)\n",
+		sched.Name(), cm.TotalCost(s), cm.TotalCost(core.Noncooperative(cm)), core.LowerBound(cm))
+	for k, c := range s.Coalitions {
+		fmt.Fprintf(out, "  coalition %d @ %s: cost $%.2f, members:",
+			k, in.Chargers[c.Charger].ID, cm.SessionCost(c.Members, c.Charger))
+		for _, i := range c.Members {
+			fmt.Fprintf(out, " %s", in.Devices[i].ID)
+		}
+		fmt.Fprintln(out)
+	}
+	shares, err := core.ScheduleShares(cm, s, core.PDS{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "  per-device shares (PDS):")
+	for i, sh := range shares {
+		sigma, _ := cm.StandaloneCost(i)
+		fmt.Fprintf(out, "    %-8s $%.2f (standalone $%.2f, saves $%.2f)\n",
+			in.Devices[i].ID, sh, sigma, sigma-sh)
+	}
+	return nil
+}

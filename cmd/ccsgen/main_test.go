@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateInstanceJSON(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-n", "6", "-m", "2", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"devices"`, `"chargers"`, `"tariff"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestGenerateFieldInstance(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-field"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "chg-A") {
+		t.Error("field instance missing chargers")
+	}
+}
+
+func TestSolveRoundTrip(t *testing.T) {
+	var gen strings.Builder
+	if err := run([]string{"-n", "6", "-m", "2", "-seed", "3"}, &gen); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []string{"NONCOOP", "CCSGA", "CCSA", "OPT"} {
+		var buf strings.Builder
+		if err := run([]string{"-solve", path, "-scheduler", sched}, &buf); err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "total comprehensive cost") {
+			t.Errorf("%s: missing cost line:\n%s", sched, out)
+		}
+		if !strings.Contains(out, "per-device shares") {
+			t.Errorf("%s: missing shares:\n%s", sched, out)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-solve", "/nonexistent.json"}, &buf); err == nil {
+		t.Error("missing file should error")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-solve", path}, &buf); err == nil {
+		t.Error("bad JSON should error")
+	}
+	good := filepath.Join(t.TempDir(), "good.json")
+	var gen strings.Builder
+	if err := run([]string{"-n", "4", "-m", "2"}, &gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, []byte(gen.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-solve", good, "-scheduler", "MAGIC"}, &buf); err == nil {
+		t.Error("unknown scheduler should error")
+	}
+}

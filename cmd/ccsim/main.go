@@ -1,0 +1,83 @@
+// Command ccsim regenerates the paper's simulation tables and figures.
+//
+// Usage:
+//
+//	ccsim -list
+//	ccsim -experiment table1
+//	ccsim -experiment all -quick
+//	ccsim -experiment fig3 -csv -seed 7 -reps 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsim", flag.ContinueOnError)
+	var (
+		id    = fs.String("experiment", "all", "experiment id (table1, fig3..fig10, table2) or 'all'")
+		list  = fs.Bool("list", false, "list available experiments and exit")
+		seed  = fs.Int64("seed", 0, "base seed (0 = default 2021)")
+		reps  = fs.Int("reps", 0, "override replication count (0 = experiment default)")
+		quick = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var exps []experiment.Experiment
+	if *id == "all" {
+		exps = experiment.Registry()
+	} else {
+		e, err := experiment.Get(*id)
+		if err != nil {
+			return err
+		}
+		exps = []experiment.Experiment{e}
+	}
+
+	cfg := experiment.Config{Seed: *seed, Reps: *reps, Quick: *quick}
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		res, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			fmt.Fprint(out, res.Table.CSV())
+		} else {
+			fmt.Fprint(out, res.Table.Text())
+			if res.Chart != "" {
+				fmt.Fprintln(out)
+				fmt.Fprint(out, res.Chart)
+			}
+			for _, n := range res.Notes {
+				fmt.Fprintf(out, "  » %s\n", n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"table1", "table2", "fig3", "fig10"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "table1", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CCSA") || !strings.Contains(out, "NONCOOP") {
+		t.Errorf("missing algorithms:\n%s", out)
+	}
+	if !strings.Contains(out, "paper: 27.3%") {
+		t.Errorf("missing paper comparison note:\n%s", out)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "table1", "-quick", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, "algorithm,") {
+		t.Errorf("CSV header missing: %q", first)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-experiment", "nope"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}

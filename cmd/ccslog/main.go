@@ -1,0 +1,93 @@
+// Command ccslog summarizes a JSONL event log produced by the simulators
+// or the testbed (see internal/eventlog): per-kind counts, cost and
+// energy totals, and a cost-over-time sparkline.
+//
+// Usage:
+//
+//	ccslog run.jsonl
+//	ccsfield -trials 20 -eventlog run.jsonl && ccslog run.jsonl
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/eventlog"
+	"repro/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccslog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: ccslog <events.jsonl> (or '-' for stdin)")
+	}
+	var (
+		r   io.Reader
+		err error
+	)
+	if args[0] == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+	events, err := eventlog.Read(r)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(out, "empty log")
+		return nil
+	}
+
+	kinds := []eventlog.Kind{
+		eventlog.KindRound, eventlog.KindCharge, eventlog.KindDeath, eventlog.KindTrial,
+	}
+	fmt.Fprintf(out, "%d events\n", len(events))
+	for _, k := range kinds {
+		subset := eventlog.Filter(events, k)
+		if len(subset) == 0 {
+			continue
+		}
+		var energy float64
+		for _, e := range subset {
+			energy += e.EnergyJ
+		}
+		fmt.Fprintf(out, "  %-7s %5d events", k, len(subset))
+		if cost := eventlog.TotalCost(events, k); cost > 0 {
+			fmt.Fprintf(out, "  $%.2f total", cost)
+		}
+		if energy > 0 {
+			fmt.Fprintf(out, "  %.1f J", energy)
+		}
+		fmt.Fprintln(out)
+	}
+
+	// Cost-over-time sparkline from whichever cost-bearing kind is
+	// present (rounds for simulations, trials for testbed logs).
+	for _, k := range []eventlog.Kind{eventlog.KindRound, eventlog.KindTrial} {
+		subset := eventlog.Filter(events, k)
+		if len(subset) < 2 {
+			continue
+		}
+		costs := make([]float64, len(subset))
+		for i, e := range subset {
+			costs[i] = e.Cost
+		}
+		fmt.Fprintf(out, "  %s costs: %s  (%.2f … %.2f)\n",
+			k, plot.Sparkline(costs), costs[0], costs[len(costs)-1])
+		break
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+func writeLog(t *testing.T, events []eventlog.Event) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := eventlog.New(f)
+	for _, e := range events {
+		if err := l.Log(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeLog(t *testing.T) {
+	path := writeLog(t, []eventlog.Event{
+		{Time: 1, Kind: eventlog.KindRound, Cost: 10, Sessions: 2},
+		{Time: 2, Kind: eventlog.KindCharge, EnergyJ: 500, Node: "n1", Charger: "c1"},
+		{Time: 3, Kind: eventlog.KindRound, Cost: 12, Sessions: 1},
+		{Time: 4, Kind: eventlog.KindDeath, Node: "n2"},
+	})
+	var buf strings.Builder
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4 events", "round", "$22.00", "500.0 J", "death", "round costs:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"/nonexistent.jsonl"}, &buf); err == nil {
+		t.Error("missing file should error")
+	}
+	empty := writeLog(t, nil)
+	buf.Reset()
+	if err := run([]string{empty}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty log") {
+		t.Errorf("empty log output: %q", buf.String())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{oops\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &buf); err == nil {
+		t.Error("broken log should error")
+	}
+}

@@ -1,0 +1,91 @@
+// Command ccsnode runs one testbed agent — a rechargeable device or a
+// charging service provider — as a standalone process that connects to a
+// ccsd coordinator and serves its protocol until the coordinator hangs
+// up.
+//
+// Usage:
+//
+//	ccsnode -connect 127.0.0.1:7465 -role device -id d1 -x 10 -y 10 -demand 120 -moverate 0.05
+//	ccsnode -connect 127.0.0.1:7465 -role charger -id c1 -x 50 -y 50 -fee 5 -coeff 0.12 -exponent 0.85 -eta 0.75
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ccsnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ccsnode", flag.ContinueOnError)
+	var (
+		connect = fs.String("connect", "127.0.0.1:7465", "coordinator address")
+		role    = fs.String("role", "device", "device | charger")
+		id      = fs.String("id", "", "agent id (required)")
+		x       = fs.Float64("x", 0, "position x, m")
+		y       = fs.Float64("y", 0, "position y, m")
+		// Device flags.
+		demand   = fs.Float64("demand", 100, "device energy demand, J")
+		moveRate = fs.Float64("moverate", 0.05, "device travel cost, $/m")
+		noise    = fs.Float64("noise", 0.03, "measurement noise fraction")
+		seed     = fs.Int64("seed", 1, "noise seed")
+		// Charger flags.
+		fee      = fs.Float64("fee", 5, "per-session fee, $")
+		coeff    = fs.Float64("coeff", 0.12, "tariff coefficient")
+		exponent = fs.Float64("exponent", 0.85, "tariff exponent")
+		eta      = fs.Float64("eta", 0.75, "WPT efficiency (0,1]")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	switch *role {
+	case "device":
+		a, err := testbed.StartDeviceAgent(*connect, testbed.DeviceState{
+			ID:       *id,
+			Pos:      geom.Pt(*x, *y),
+			DemandJ:  *demand,
+			MoveRate: *moveRate,
+		}, testbed.NoiseParams{DemandStdFrac: *noise, DistanceStdFrac: *noise}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "device %s registered with %s; serving\n", *id, *connect)
+		<-a.Done()
+		fmt.Fprintf(out, "device %s: coordinator closed the session\n", *id)
+		return a.Close()
+	case "charger":
+		a, err := testbed.StartChargerAgent(*connect, testbed.ChargerState{
+			ID:             *id,
+			Pos:            geom.Pt(*x, *y),
+			Fee:            *fee,
+			TariffCoeff:    *coeff,
+			TariffExponent: *exponent,
+			Efficiency:     *eta,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "charger %s registered with %s; serving\n", *id, *connect)
+		<-a.Done()
+		billed, sessions := a.Billed()
+		fmt.Fprintf(out, "charger %s: %d session(s) billed, $%.2f total\n", *id, sessions, billed)
+		return a.Close()
+	default:
+		return fmt.Errorf("unknown role %q", *role)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testbed"
+)
+
+func TestNodeValidation(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-role", "device"}, &buf); err == nil {
+		t.Error("missing -id should error")
+	}
+	if err := run([]string{"-role", "toaster", "-id", "x"}, &buf); err == nil {
+		t.Error("unknown role should error")
+	}
+	if err := run([]string{"-role", "device", "-id", "x", "-connect", "127.0.0.1:1"}, &buf); err == nil {
+		t.Error("unreachable coordinator should error")
+	}
+}
+
+func TestNodeDeviceAndChargerAgainstCoordinator(t *testing.T) {
+	coord, err := testbed.NewCoordinator(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg                 sync.WaitGroup
+		devOut, chOut      strings.Builder
+		devErr, chargerErr error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		devErr = run([]string{
+			"-connect", coord.Addr(), "-role", "device", "-id", "d1",
+			"-x", "10", "-y", "10", "-demand", "100",
+		}, &devOut)
+	}()
+	go func() {
+		defer wg.Done()
+		chargerErr = run([]string{
+			"-connect", coord.Addr(), "-role", "charger", "-id", "c1",
+			"-x", "50", "-y", "50",
+		}, &chOut)
+	}()
+
+	if err := coord.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	in, err := coord.CollectInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Devices) != 1 || len(in.Chargers) != 1 {
+		t.Fatalf("instance = %d devices, %d chargers", len(in.Devices), len(in.Chargers))
+	}
+	// Hang up; both nodes must notice and exit their run().
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("node processes did not exit after coordinator close")
+	}
+	if devErr != nil {
+		t.Errorf("device node: %v", devErr)
+	}
+	if chargerErr != nil {
+		t.Errorf("charger node: %v", chargerErr)
+	}
+	if !strings.Contains(devOut.String(), "registered") {
+		t.Errorf("device output:\n%s", devOut.String())
+	}
+	if !strings.Contains(chOut.String(), "session(s) billed") {
+		t.Errorf("charger output:\n%s", chOut.String())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchModel(b *testing.B, n, m int) *CostModel {
+	b.Helper()
+	r := rand.New(rand.NewSource(42))
+	cm, err := NewCostModel(randInstance(r, n, m))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cm
+}
+
+func BenchmarkNoncooperative(b *testing.B) {
+	cm := benchModel(b, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Noncooperative(cm)
+	}
+}
+
+func BenchmarkCCSASFMOracleN20(b *testing.B) {
+	cm := benchModel(b, 20, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CCSA(cm, CCSAOptions{Oracle: SFMOracle}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCSAPrefixOracleN100(b *testing.B) {
+	cm := benchModel(b, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CCSA(cm, CCSAOptions{Oracle: PrefixOracle}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCSGAN100(b *testing.B) {
+	cm := benchModel(b, 100, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CCSGA(cm, CCSGAOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalN12(b *testing.B) {
+	cm := benchModel(b, 12, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(cm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalBnBN14(b *testing.B) {
+	cm := benchModel(b, 14, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimalBnB(cm, BnBOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapleyExact12(b *testing.B) {
+	cm := benchModel(b, 12, 3)
+	members := make([]int, 12)
+	for i := range members {
+		members[i] = i
+	}
+	c := Coalition{Charger: 0, Members: members}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Shapley{}).Shares(cm, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanDispatch(b *testing.B) {
+	cm := benchModel(b, 30, 5)
+	res, err := CCSA(cm, CCSAOptions{Oracle: PrefixOracle})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanDispatch(cm, res.Schedule, 0.02); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BnBOptions tunes the branch-and-bound exact solver.
+type BnBOptions struct {
+	// NodeBudget caps the number of search nodes expanded; zero means
+	// DefaultBnBNodeBudget. The solver returns ErrBudget when exceeded.
+	NodeBudget int
+}
+
+// DefaultBnBNodeBudget is the default search-node cap.
+const DefaultBnBNodeBudget = 20_000_000
+
+// ErrBudget is returned when branch and bound exhausts its node budget
+// before proving optimality.
+var ErrBudget = fmt.Errorf("core: branch-and-bound node budget exhausted")
+
+// OptimalBnB solves the CCS instance exactly by branch and bound over
+// device→charger assignments (one coalition per charger is WLOG under
+// concave tariffs — merging same-charger coalitions never costs more).
+// It prunes with a per-device admissible increment bound and starts from
+// the CCSA incumbent. Unlike Optimal it is not limited to 18 devices, but
+// its running time depends on instance structure; it returns ErrBudget
+// when the proof does not fit the node budget.
+func OptimalBnB(cm *CostModel, opts BnBOptions) (*Schedule, error) {
+	if opts.NodeBudget <= 0 {
+		opts.NodeBudget = DefaultBnBNodeBudget
+	}
+	if cm.HasCapacity() {
+		// With capacities a charger may host several sessions, which the
+		// one-coalition-per-charger search below cannot represent.
+		return nil, fmt.Errorf("core: OptimalBnB does not support session capacities; use Optimal")
+	}
+	n, m := cm.NumDevices(), cm.NumChargers()
+	in := cm.Instance()
+
+	// Incumbent: CCSA's schedule.
+	inc, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: bnb incumbent: %w", err)
+	}
+	bestCost := cm.TotalCost(inc.Schedule)
+	bestAssign := make([]int, n)
+	for _, c := range inc.Schedule.Coalitions {
+		for _, i := range c.Members {
+			bestAssign[i] = c.Charger
+		}
+	}
+
+	// Admissible remaining-cost bound per device: travel to the cheapest
+	// charger plus the smallest possible marginal energy cost there.
+	// Under a concave tariff increments shrink with the base load, so the
+	// cheapest conceivable increment for e joules is the top-of-curve
+	// marginal φ(V) − φ(V−e) at the full-network volume V (fees dropped).
+	var totalDemand float64
+	for _, d := range in.Devices {
+		totalDemand += d.Demand
+	}
+	minIncr := make([]float64, n)
+	for i, d := range in.Devices {
+		best := math.Inf(1)
+		for j, ch := range in.Chargers {
+			maxVol := totalDemand / ch.Efficiency
+			e := d.Demand / ch.Efficiency
+			marginal := ch.Tariff.Price(maxVol) - ch.Tariff.Price(maxVol-e)
+			if c := cm.MovingCost(i, j) + marginal; c < best {
+				best = c
+			}
+		}
+		minIncr[i] = best
+	}
+
+	// Process devices in decreasing demand: big decisions first prune
+	// more.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Devices[order[a]].Demand > in.Devices[order[b]].Demand
+	})
+	// suffixLB[k] = Σ_{t≥k} minIncr[order[t]].
+	suffixLB := make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		suffixLB[k] = suffixLB[k+1] + minIncr[order[k]]
+	}
+
+	var (
+		assign    = make([]int, n) // device -> charger (by order position)
+		purchased = make([]float64, m)
+		open      = make([]int, m) // member count per charger
+		partial   float64          // cost of current partial assignment
+		nodes     int
+		budgetHit bool
+	)
+	const eps = 1e-9
+
+	var dfs func(k int)
+	dfs = func(k int) {
+		if budgetHit {
+			return
+		}
+		nodes++
+		if nodes > opts.NodeBudget {
+			budgetHit = true
+			return
+		}
+		if k == n {
+			if partial < bestCost-eps {
+				bestCost = partial
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		if partial+suffixLB[k] >= bestCost-eps {
+			return
+		}
+		i := order[k]
+		dev := in.Devices[i]
+		// Candidate chargers ordered by incremental cost (cheap first
+		// finds good incumbents early).
+		type cand struct {
+			j    int
+			incr float64
+		}
+		cands := make([]cand, 0, m)
+		for j, ch := range in.Chargers {
+			add := dev.Demand / ch.Efficiency
+			incr := cm.MovingCost(i, j) +
+				ch.Tariff.Price(purchased[j]+add) - ch.Tariff.Price(purchased[j])
+			if open[j] == 0 {
+				incr += ch.Fee
+			}
+			cands = append(cands, cand{j, incr})
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].incr < cands[b].incr })
+		for _, cd := range cands {
+			if partial+cd.incr+suffixLB[k+1] >= bestCost-eps {
+				continue
+			}
+			j := cd.j
+			add := dev.Demand / in.Chargers[j].Efficiency
+			assign[i] = j
+			purchased[j] += add
+			open[j]++
+			partial += cd.incr
+			dfs(k + 1)
+			partial -= cd.incr
+			open[j]--
+			purchased[j] -= add
+		}
+	}
+	dfs(0)
+	if budgetHit {
+		return nil, fmt.Errorf("%w (%d nodes)", ErrBudget, nodes)
+	}
+
+	s := assignmentSchedule(bestAssign, m)
+	return s, nil
+}

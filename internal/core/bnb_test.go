@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalBnBMatchesDP(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + r.Intn(8)
+		in := randInstance(r, n, 1+r.Intn(4))
+		cm := mustCostModel(t, in)
+		dp, err := Optimal(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnb, err := OptimalBnB(cm, BnBOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bnb.Validate(n, cm.NumChargers()); err != nil {
+			t.Fatalf("trial %d: invalid BnB schedule: %v", trial, err)
+		}
+		a, b := cm.TotalCost(dp), cm.TotalCost(bnb)
+		if math.Abs(a-b) > 1e-6*(1+a) {
+			t.Fatalf("trial %d (n=%d): DP %v != BnB %v", trial, n, a, b)
+		}
+	}
+}
+
+func TestOptimalBnBBeyondDPLimit(t *testing.T) {
+	// 22 devices: beyond Optimal's 3^n reach; BnB must still prove
+	// optimality and beat (or tie) CCSA.
+	r := rand.New(rand.NewSource(302))
+	in := randInstance(r, 22, 3)
+	cm := mustCostModel(t, in)
+	bnb, err := OptimalBnB(cm, BnBOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bnb.Validate(22, 3); err != nil {
+		t.Fatal(err)
+	}
+	ccsaRes, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ccsa := cm.TotalCost(bnb), cm.TotalCost(ccsaRes.Schedule); got > ccsa+1e-9 {
+		t.Errorf("BnB %v worse than its own incumbent CCSA %v", got, ccsa)
+	}
+	if lb := LowerBound(cm); cm.TotalCost(bnb) < lb-1e-6 {
+		t.Errorf("BnB %v below the lower bound %v", cm.TotalCost(bnb), lb)
+	}
+}
+
+func TestOptimalBnBBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	in := randInstance(r, 14, 4)
+	cm := mustCostModel(t, in)
+	_, err := OptimalBnB(cm, BnBOptions{NodeBudget: 3})
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/submodular"
+)
+
+// OracleKind selects how CCSA finds, per charger, the uncovered coalition
+// with minimum average cost.
+type OracleKind int
+
+const (
+	// AutoOracle uses the exact SFM oracle when the uncovered set fits a
+	// 64-bit ground set and the prefix heuristic otherwise. Default.
+	AutoOracle OracleKind = iota
+	// SFMOracle forces Dinkelbach + Fujishige–Wolfe minimum-norm-point
+	// submodular minimization (exact up to solver tolerance).
+	SFMOracle
+	// PrefixOracle forces the sorted-prefix heuristic (fast, exact for
+	// linear tariffs).
+	PrefixOracle
+)
+
+// CCSAOptions tunes the CCSA approximation algorithm.
+type CCSAOptions struct {
+	// Oracle selects the min-ratio subroutine. Default AutoOracle.
+	Oracle OracleKind
+	// SFM tunes the submodular solver used by the SFM oracle.
+	SFM submodular.Options
+}
+
+// CCSAResult carries the schedule plus run diagnostics.
+type CCSAResult struct {
+	Schedule *Schedule
+	// Rounds is the number of greedy iterations (coalitions committed
+	// before same-charger merging).
+	Rounds int
+	// OracleCalls counts min-ratio oracle invocations.
+	OracleCalls int
+}
+
+// CCSA runs the paper's approximation algorithm: a set-cover-style greedy
+// that repeatedly commits the (charger, coalition-of-uncovered-devices)
+// pair with minimum average comprehensive cost. With the exact SFM oracle
+// the greedy inherits the H_n approximation factor of weighted set cover.
+func CCSA(cm *CostModel, opts CCSAOptions) (*CCSAResult, error) {
+	n := cm.NumDevices()
+	uncovered := make([]int, n)
+	for i := range uncovered {
+		uncovered[i] = i
+	}
+
+	res := &CCSAResult{Schedule: &Schedule{}}
+	for len(uncovered) > 0 {
+		var (
+			bestRatio = math.Inf(1)
+			bestSet   []int
+			bestJ     = -1
+		)
+		for j := 0; j < cm.NumChargers(); j++ {
+			set, ratio, err := minRatioCoalition(cm, j, uncovered, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ccsa: charger %d oracle: %w", j, err)
+			}
+			res.OracleCalls++
+			if ratio < bestRatio {
+				bestRatio, bestSet, bestJ = ratio, set, j
+			}
+		}
+		if bestJ < 0 || len(bestSet) == 0 {
+			return nil, fmt.Errorf("ccsa: no coalition found for %d uncovered devices", len(uncovered))
+		}
+		sort.Ints(bestSet)
+		res.Schedule.Coalitions = append(res.Schedule.Coalitions,
+			Coalition{Charger: bestJ, Members: bestSet})
+		res.Rounds++
+		uncovered = removeAll(uncovered, bestSet)
+	}
+	// Merging same-charger sessions never raises cost under concave
+	// tariffs — but it can overflow a session capacity, so capacitated
+	// schedules keep their sessions separate.
+	if !cm.HasCapacity() {
+		res.Schedule.MergeSameCharger()
+	}
+	return res, nil
+}
+
+// minRatioCoalition finds a subset S of the uncovered devices minimizing
+// SessionCost(S, j)/|S|.
+func minRatioCoalition(cm *CostModel, j int, uncovered []int, opts CCSAOptions) ([]int, float64, error) {
+	useSFM := false
+	switch opts.Oracle {
+	case SFMOracle:
+		if len(uncovered) > 64 {
+			return nil, 0, fmt.Errorf("SFM oracle limited to 64 devices, got %d", len(uncovered))
+		}
+		if cm.HasCapacity() {
+			return nil, 0, fmt.Errorf("SFM oracle does not support session capacities (the constraint breaks submodularity); use PrefixOracle")
+		}
+		useSFM = true
+	case PrefixOracle:
+		useSFM = false
+	default:
+		useSFM = len(uncovered) <= 64 && !cm.HasCapacity()
+	}
+	if useSFM {
+		return sfmOracle(cm, j, uncovered, opts.SFM)
+	}
+	set, ratio := prefixOracle(cm, j, uncovered)
+	return set, ratio, nil
+}
+
+// sfmOracle minimizes the ratio exactly (up to solver tolerance) with
+// Dinkelbach iteration over submodular minimizations.
+func sfmOracle(cm *CostModel, j int, uncovered []int, sfmOpts submodular.Options) ([]int, float64, error) {
+	f := submodular.FuncOf(len(uncovered), func(s submodular.Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		members := make([]int, 0, s.Card())
+		for _, e := range s.Elems() {
+			members = append(members, uncovered[e])
+		}
+		return cm.SessionCost(members, j)
+	})
+	set, ratio, err := submodular.MinimizeRatio(f, sfmOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	members := make([]int, 0, set.Card())
+	for _, e := range set.Elems() {
+		members = append(members, uncovered[e])
+	}
+	return members, ratio, nil
+}
+
+// prefixOracle is the fast heuristic: sort the uncovered devices by their
+// marginal cost at charger j and take the best prefix by average cost.
+// For linear tariffs the best prefix is the exact minimizer; for strictly
+// concave tariffs it is a high-quality heuristic (the CCSA greedy remains
+// a feasible schedule either way).
+func prefixOracle(cm *CostModel, j int, uncovered []int) ([]int, float64) {
+	in := cm.Instance()
+	ch := in.Chargers[j]
+	// Linearized per-device weight: moving cost + energy at the
+	// full-volume average rate.
+	vol := cm.Purchased(uncovered, j)
+	rate := 0.0
+	if vol > 0 {
+		rate = ch.Tariff.Price(vol) / vol
+	}
+	order := make([]int, 0, len(uncovered))
+	for _, i := range uncovered {
+		if cm.Feasible([]int{i}, j) {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := cm.MovingCost(order[a], j) + rate*in.Devices[order[a]].Demand/ch.Efficiency
+		wb := cm.MovingCost(order[b], j) + rate*in.Devices[order[b]].Demand/ch.Efficiency
+		return wa < wb
+	})
+	var (
+		bestK     = 0
+		bestRatio = math.Inf(1)
+	)
+	for k := 1; k <= len(order); k++ {
+		if !cm.Feasible(order[:k], j) {
+			break // demands are positive: larger prefixes stay infeasible
+		}
+		ratio := cm.SessionCost(order[:k], j) / float64(k)
+		if ratio < bestRatio {
+			bestRatio, bestK = ratio, k
+		}
+	}
+	return append([]int(nil), order[:bestK]...), bestRatio
+}
+
+// removeAll returns uncovered minus the sorted slice taken, preserving
+// order.
+func removeAll(uncovered, taken []int) []int {
+	inTaken := make(map[int]bool, len(taken))
+	for _, t := range taken {
+		inTaken[t] = true
+	}
+	out := uncovered[:0]
+	for _, u := range uncovered {
+		if !inTaken[u] {
+			out = append(out, u)
+		}
+	}
+	return out
+}

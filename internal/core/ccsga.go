@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/coalition"
+)
+
+// CCSGAOptions tunes the coalition-formation game algorithm.
+type CCSGAOptions struct {
+	// Scheme is the intragroup cost-sharing scheme the devices play
+	// under. Default PDS (whose cross-monotonic shares make the selfish
+	// dynamics converge).
+	Scheme SharingScheme
+	// Rule is the deviation rule. Default coalition.Selfish (the paper's
+	// device-utility switch operation).
+	Rule coalition.Rule
+	// Seed randomizes the per-pass visiting order when nonzero; zero
+	// keeps deterministic round-robin.
+	Seed int64
+	// MaxPasses caps full sweeps; zero uses the engine default.
+	MaxPasses int
+	// Epsilon is the minimum strict improvement; zero uses the engine
+	// default.
+	Epsilon float64
+}
+
+// CCSGAResult carries the schedule plus game diagnostics.
+type CCSGAResult struct {
+	Schedule *Schedule
+	// Switches is the number of accepted switch operations.
+	Switches int
+	// Passes is the number of full sweeps over the devices.
+	Passes int
+	// Converged reports whether a full pass saw no switch.
+	Converged bool
+	// NashStable reports whether the final assignment was verified to be
+	// a pure Nash equilibrium (no device can lower its share).
+	NashStable bool
+}
+
+// CCSGA runs the paper's game-theoretic algorithm for large instances:
+// each device's strategy is the charging session it joins (one session
+// slot per charger, or several when session capacities force splitting);
+// the devices in a session form one coalition and split its cost with the
+// sharing scheme; switch dynamics run until a pure Nash equilibrium. The
+// initial assignment is the noncooperative one (every device at its
+// standalone charger), packed greedily when capacities bind.
+func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
+	if opts.Scheme == nil {
+		opts.Scheme = PDS{}
+	}
+	if opts.Rule == 0 {
+		opts.Rule = coalition.Selfish
+	}
+	game, err := newChargerGame(cm, opts.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	init, err := game.initialAssignment()
+	if err != nil {
+		return nil, fmt.Errorf("ccsga: %w", err)
+	}
+	game.reset(init)
+
+	var r *rand.Rand
+	if opts.Seed != 0 {
+		r = rand.New(rand.NewSource(opts.Seed))
+	}
+	res, err := coalition.Run(game, init, coalition.Options{
+		Rule:      opts.Rule,
+		MaxPasses: opts.MaxPasses,
+		Epsilon:   opts.Epsilon,
+		Rand:      r,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ccsga: %w", err)
+	}
+
+	sched := game.schedule(res.Assignment)
+	return &CCSGAResult{
+		Schedule:   sched,
+		Switches:   res.Switches,
+		Passes:     res.Passes,
+		Converged:  res.Converged,
+		NashStable: coalition.IsNash(game, res.Assignment, 1e-9),
+	}, nil
+}
+
+// assignmentSchedule converts a device→charger assignment into a
+// Schedule with one coalition per patronized charger.
+func assignmentSchedule(assign []int, numChargers int) *Schedule {
+	s := &Schedule{}
+	for j, members := range coalition.Coalitions(assign, numChargers) {
+		if len(members) == 0 {
+			continue
+		}
+		sort.Ints(members)
+		s.Coalitions = append(s.Coalitions, Coalition{Charger: j, Members: members})
+	}
+	return s
+}
+
+// chargerGame implements coalition.SocialGame with O(1) share queries via
+// per-slot aggregates. A strategy is a session slot: exactly one per
+// charger without capacities; ⌈total purchase / capacity⌉ slots per
+// charger when a session capacity could force splitting.
+type chargerGame struct {
+	cm     *CostModel
+	scheme SharingScheme
+
+	// chargerOf maps slot → charger index.
+	chargerOf []int
+	// firstSlot maps charger → its first slot index.
+	firstSlot []int
+
+	cur []int // device -> slot
+	// Aggregates per slot over current members.
+	count     []int
+	purchased []float64 // Σ demand_i/η
+	moveSum   []float64
+	sigmaSum  []float64
+
+	pds bool // scheme is PDS (otherwise ESS semantics)
+}
+
+var _ coalition.SocialGame = (*chargerGame)(nil)
+
+func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
+	g := &chargerGame{cm: cm, scheme: scheme}
+	switch scheme.(type) {
+	case PDS:
+		g.pds = true
+	case ESS:
+		g.pds = false
+	default:
+		return nil, fmt.Errorf("ccsga: unsupported sharing scheme %q", scheme.Name())
+	}
+	in := cm.Instance()
+	var totalDemand float64
+	for _, d := range in.Devices {
+		totalDemand += d.Demand
+	}
+	g.firstSlot = make([]int, len(in.Chargers))
+	for j, ch := range in.Chargers {
+		g.firstSlot[j] = len(g.chargerOf)
+		slots := 1
+		if ch.Capacity > 0 {
+			need := totalDemand / ch.Efficiency
+			slots = int(math.Ceil(need / ch.Capacity))
+			if slots < 1 {
+				slots = 1
+			}
+			if slots > cm.NumDevices() {
+				slots = cm.NumDevices()
+			}
+		}
+		for t := 0; t < slots; t++ {
+			g.chargerOf = append(g.chargerOf, j)
+		}
+	}
+	n := len(g.chargerOf)
+	g.count = make([]int, n)
+	g.purchased = make([]float64, n)
+	g.moveSum = make([]float64, n)
+	g.sigmaSum = make([]float64, n)
+	g.cur = make([]int, cm.NumDevices())
+	return g, nil
+}
+
+// initialAssignment returns the starting device→slot assignment: the
+// noncooperative one, except that under session capacities devices are
+// packed greedily (largest demand first, cheapest slot with room).
+func (g *chargerGame) initialAssignment() ([]int, error) {
+	cm := g.cm
+	in := cm.Instance()
+	init := make([]int, cm.NumDevices())
+	if !cm.HasCapacity() {
+		for i := range init {
+			_, j := cm.StandaloneCost(i)
+			init[i] = g.firstSlot[j]
+		}
+		return init, nil
+	}
+	order := make([]int, cm.NumDevices())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Devices[order[a]].Demand > in.Devices[order[b]].Demand
+	})
+	remaining := make([]float64, len(g.chargerOf))
+	for s, j := range g.chargerOf {
+		remaining[s] = in.Chargers[j].Capacity // 0 = unlimited
+	}
+	for _, i := range order {
+		bestS, bestCost := -1, 0.0
+		for s, j := range g.chargerOf {
+			ch := in.Chargers[j]
+			need := in.Devices[i].Demand / ch.Efficiency
+			if ch.Capacity > 0 && need > remaining[s]*(1+1e-12) {
+				continue
+			}
+			if c := cm.SessionCost([]int{i}, j); bestS < 0 || c < bestCost {
+				bestS, bestCost = s, c
+			}
+		}
+		if bestS < 0 {
+			return nil, fmt.Errorf("device %s fits no session slot: capacities too tight", in.Devices[i].ID)
+		}
+		init[i] = bestS
+		if cap := in.Chargers[g.chargerOf[bestS]].Capacity; cap > 0 {
+			remaining[bestS] -= in.Devices[i].Demand / in.Chargers[g.chargerOf[bestS]].Efficiency
+		}
+	}
+	return init, nil
+}
+
+// schedule converts a device→slot assignment into a Schedule (one
+// coalition per occupied slot; same-charger sessions are merged only in
+// the uncapacitated case, where a slot per charger makes it a no-op).
+func (g *chargerGame) schedule(assign []int) *Schedule {
+	s := &Schedule{}
+	for slot, members := range coalition.Coalitions(assign, len(g.chargerOf)) {
+		if len(members) == 0 {
+			continue
+		}
+		sort.Ints(members)
+		s.Coalitions = append(s.Coalitions, Coalition{
+			Charger: g.chargerOf[slot],
+			Members: members,
+		})
+	}
+	return s
+}
+
+// reset installs the assignment and rebuilds aggregates.
+func (g *chargerGame) reset(assign []int) {
+	for s := range g.count {
+		g.count[s] = 0
+		g.purchased[s] = 0
+		g.moveSum[s] = 0
+		g.sigmaSum[s] = 0
+	}
+	copy(g.cur, assign)
+	for i, s := range assign {
+		g.join(i, s)
+	}
+}
+
+func (g *chargerGame) join(i, s int) {
+	in := g.cm.Instance()
+	j := g.chargerOf[s]
+	g.count[s]++
+	g.purchased[s] += in.Devices[i].Demand / in.Chargers[j].Efficiency
+	g.moveSum[s] += g.cm.MovingCost(i, j)
+	sigma, _ := g.cm.StandaloneCost(i)
+	g.sigmaSum[s] += sigma
+}
+
+func (g *chargerGame) leave(i, s int) {
+	in := g.cm.Instance()
+	j := g.chargerOf[s]
+	g.count[s]--
+	g.purchased[s] -= in.Devices[i].Demand / in.Chargers[j].Efficiency
+	g.moveSum[s] -= g.cm.MovingCost(i, j)
+	sigma, _ := g.cm.StandaloneCost(i)
+	g.sigmaSum[s] -= sigma
+}
+
+// NumAgents implements coalition.Game.
+func (g *chargerGame) NumAgents() int { return g.cm.NumDevices() }
+
+// NumStrategies implements coalition.Game.
+func (g *chargerGame) NumStrategies() int { return len(g.chargerOf) }
+
+// Share implements coalition.Game: device i's cost share if it joined
+// session slot s, holding everyone else fixed.
+func (g *chargerGame) Share(i, s int) float64 {
+	in := g.cm.Instance()
+	j := g.chargerOf[s]
+	ch := in.Chargers[j]
+	myPurchased := in.Devices[i].Demand / ch.Efficiency
+	myMove := g.cm.MovingCost(i, j)
+
+	cnt := g.count[s]
+	purch := g.purchased[s]
+	moveSum := g.moveSum[s]
+	sigmaSum := g.sigmaSum[s]
+	if g.cur[i] != s { // hypothetical join
+		if ch.Capacity > 0 && purch+myPurchased > ch.Capacity*(1+1e-12) {
+			return math.Inf(1) // the session is full; joining is infeasible
+		}
+		cnt++
+		purch += myPurchased
+		moveSum += myMove
+		sigma, _ := g.cm.StandaloneCost(i)
+		sigmaSum += sigma
+	}
+	charging := ch.Fee + ch.Tariff.Price(purch)
+	if g.pds {
+		return myMove + charging*myPurchased/purch
+	}
+	// ESS.
+	cost := charging + moveSum
+	surplusPer := (sigmaSum - cost) / float64(cnt)
+	sigma, _ := g.cm.StandaloneCost(i)
+	return sigma - surplusPer
+}
+
+// Move implements coalition.Game.
+func (g *chargerGame) Move(i, from, to int) {
+	g.leave(i, from)
+	g.join(i, to)
+	g.cur[i] = to
+}
+
+// TotalCost implements coalition.SocialGame.
+func (g *chargerGame) TotalCost() float64 {
+	in := g.cm.Instance()
+	var total float64
+	for s, cnt := range g.count {
+		if cnt == 0 {
+			continue
+		}
+		ch := in.Chargers[g.chargerOf[s]]
+		total += ch.Fee + ch.Tariff.Price(g.purchased[s]) + g.moveSum[s]
+	}
+	return total
+}

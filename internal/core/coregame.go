@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BlockingCoalition describes a subset of a coalition that could defect
+// profitably: serving itself alone (at its best charger) would cost less
+// than the members' current shares sum to.
+type BlockingCoalition struct {
+	// Members are device indices (a subset of the audited coalition).
+	Members []int
+	// ShareSum is what the members currently pay together.
+	ShareSum float64
+	// DefectCost is the cheapest standalone session cost of the subset.
+	DefectCost float64
+}
+
+// FindBlockingCoalition audits a cost allocation against the core of the
+// coalition's cost game: it searches every nonempty proper subset T of
+// the coalition for one whose current shares exceed the cheapest session
+// T could buy on its own (min over all chargers). It returns nil when the
+// allocation is in the core — no subgroup has an incentive to defect —
+// which is the stability property the paper's cost-sharing schemes exist
+// to provide. Exponential in the coalition size; limited to 20 members.
+func FindBlockingCoalition(cm *CostModel, c Coalition, shares []float64, eps float64) (*BlockingCoalition, error) {
+	k := len(c.Members)
+	if k == 0 {
+		return nil, fmt.Errorf("core: empty coalition")
+	}
+	if len(shares) != k {
+		return nil, fmt.Errorf("core: %d shares for %d members", len(shares), k)
+	}
+	if k > 20 {
+		return nil, fmt.Errorf("core: core audit limited to 20 members, got %d", k)
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	full := 1<<uint(k) - 1
+	members := make([]int, 0, k)
+	for mask := 1; mask < full; mask++ { // proper subsets only
+		members = members[:0]
+		var shareSum float64
+		for t := mask; t != 0; t &= t - 1 {
+			i := bits.TrailingZeros(uint(t))
+			members = append(members, c.Members[i])
+			shareSum += shares[i]
+		}
+		best := -1.0
+		for j := 0; j < cm.NumChargers(); j++ {
+			if !cm.Feasible(members, j) {
+				continue
+			}
+			if cost := cm.SessionCost(members, j); best < 0 || cost < best {
+				best = cost
+			}
+		}
+		if best >= 0 && best < shareSum-eps*(1+shareSum) {
+			return &BlockingCoalition{
+				Members:    append([]int(nil), members...),
+				ShareSum:   shareSum,
+				DefectCost: best,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// InCore reports whether the scheme's allocation of the coalition is in
+// the core (no blocking subset).
+func InCore(cm *CostModel, c Coalition, scheme SharingScheme) (bool, error) {
+	shares, err := scheme.Shares(cm, c)
+	if err != nil {
+		return false, err
+	}
+	blocking, err := FindBlockingCoalition(cm, c, shares, 0)
+	if err != nil {
+		return false, err
+	}
+	return blocking == nil, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// PDS and Shapley are cross-monotonic / submodular-core allocations:
+// no subgroup of a coalition at the coalition's OWN charger can defect
+// profitably when the coalition sits at each subgroup's best charger
+// choice too... in general position the audit should pass overwhelmingly.
+func TestPDSAndShapleyUsuallyInCore(t *testing.T) {
+	r := rand.New(rand.NewSource(701))
+	for _, scheme := range []SharingScheme{PDS{}, Shapley{}} {
+		inCore, total := 0, 0
+		for trial := 0; trial < 15; trial++ {
+			in := randInstance(r, 8, 3)
+			cm := mustCostModel(t, in)
+			// Audit the coalitions CCSA actually builds.
+			res, err := CCSA(cm, CCSAOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range res.Schedule.Coalitions {
+				if len(c.Members) < 2 {
+					continue
+				}
+				ok, err := InCore(cm, c, scheme)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total++
+				if ok {
+					inCore++
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatal("no multi-member coalitions audited")
+		}
+		// The schemes are core allocations w.r.t. the coalition's own
+		// charger; defecting subsets may still exploit a *different*
+		// charger, so demand a high rate rather than perfection.
+		if float64(inCore) < 0.9*float64(total) {
+			t.Errorf("%s: only %d/%d audited coalitions in core", scheme.Name(), inCore, total)
+		}
+	}
+}
+
+func TestFindBlockingCoalitionDetectsExploitation(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	c := Coalition{Charger: 0, Members: []int{0, 1}}
+	cost := cm.SessionCost(c.Members, 0)
+	// A grossly unfair allocation: device 0 pays (almost) everything.
+	shares := []float64{cost - 0.01, 0.01}
+	blocking, err := FindBlockingCoalition(cm, c, shares, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocking == nil {
+		t.Fatal("unfair allocation not blocked")
+	}
+	if len(blocking.Members) != 1 || blocking.Members[0] != 0 {
+		t.Errorf("blocking coalition = %v, want {device 0}", blocking.Members)
+	}
+	if blocking.DefectCost >= blocking.ShareSum {
+		t.Error("blocking coalition does not actually profit")
+	}
+}
+
+func TestFindBlockingCoalitionValidation(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	if _, err := FindBlockingCoalition(cm, Coalition{}, nil, 0); err == nil {
+		t.Error("empty coalition should error")
+	}
+	c := Coalition{Charger: 0, Members: []int{0, 1}}
+	if _, err := FindBlockingCoalition(cm, c, []float64{1}, 0); err == nil {
+		t.Error("share length mismatch should error")
+	}
+	big := Coalition{Charger: 0, Members: make([]int, 21)}
+	if _, err := FindBlockingCoalition(cm, big, make([]float64, 21), 0); err == nil {
+		t.Error("oversized audit should error")
+	}
+}

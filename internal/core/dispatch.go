@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/tour"
+)
+
+// Dispatch is the full mobile-charger execution plan of a schedule:
+// every session meets at an optimized rendezvous point, and each charger
+// that serves several sessions (possible under session capacities)
+// visits them on a 2-opt round-trip tour from its home position.
+type Dispatch struct {
+	// Schedule is the underlying coalition structure.
+	Schedule *Schedule
+	// Meeting holds one rendezvous point per coalition, aligned with
+	// Schedule.Coalitions.
+	Meeting []geom.Point
+	// Tours maps a charger index to the order (coalition indices) in
+	// which it visits its sessions.
+	Tours map[int][]int
+	// ChargerTravelCost is Σ chargers' round-trip tour length ×
+	// chargerMoveRate, $.
+	ChargerTravelCost float64
+	// MemberTravelCost is the devices' travel to their meeting points, $.
+	MemberTravelCost float64
+	// ChargingCost is the sessions' fees + tariffs, $.
+	ChargingCost float64
+}
+
+// TotalCost returns the dispatch's comprehensive cost.
+func (d *Dispatch) TotalCost() float64 {
+	return d.ChargerTravelCost + d.MemberTravelCost + d.ChargingCost
+}
+
+// PlanDispatch builds the mobile-charger dispatch of a schedule:
+// rendezvous points via the weighted geometric median (members' rates vs
+// the charger's), then one round-trip tour per charger over its sessions.
+func PlanDispatch(cm *CostModel, s *Schedule, chargerMoveRate float64) (*Dispatch, error) {
+	plan, err := OptimizeRendezvous(cm, s, chargerMoveRate)
+	if err != nil {
+		return nil, err
+	}
+	in := cm.Instance()
+	d := &Dispatch{
+		Schedule: s,
+		Meeting:  plan.Points,
+		Tours:    make(map[int][]int),
+	}
+	// Group coalition indices by charger, preserving schedule order.
+	byCharger := make(map[int][]int)
+	for k, c := range s.Coalitions {
+		byCharger[c.Charger] = append(byCharger[c.Charger], k)
+		d.ChargingCost += cm.ChargingCost(c.Members, c.Charger)
+		for _, i := range c.Members {
+			d.MemberTravelCost += in.Devices[i].MoveRate * in.Devices[i].Pos.Dist(plan.Points[k])
+		}
+	}
+	for j, ks := range byCharger {
+		stops := make([]geom.Point, len(ks))
+		for t, k := range ks {
+			stops[t] = plan.Points[k]
+		}
+		order, length, err := tour.Plan(in.Chargers[j].Pos, stops)
+		if err != nil {
+			return nil, fmt.Errorf("core: charger %d tour: %w", j, err)
+		}
+		visits := make([]int, len(order))
+		for t, o := range order {
+			visits[t] = ks[o]
+		}
+		d.Tours[j] = visits
+		d.ChargerTravelCost += chargerMoveRate * length
+	}
+	return d, nil
+}

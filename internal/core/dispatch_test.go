@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlanDispatchAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	in := randInstance(r, 10, 3)
+	cm := mustCostModel(t, in)
+	res, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PlanDispatch(cm, res.Schedule, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Meeting) != len(res.Schedule.Coalitions) {
+		t.Fatal("meeting points misaligned")
+	}
+	// Every coalition appears in exactly one tour.
+	seen := make(map[int]bool)
+	for j, visits := range d.Tours {
+		for _, k := range visits {
+			if seen[k] {
+				t.Fatalf("coalition %d visited twice", k)
+			}
+			seen[k] = true
+			if res.Schedule.Coalitions[k].Charger != j {
+				t.Fatalf("coalition %d in the wrong charger's tour", k)
+			}
+		}
+	}
+	if len(seen) != len(res.Schedule.Coalitions) {
+		t.Fatalf("tours cover %d of %d coalitions", len(seen), len(res.Schedule.Coalitions))
+	}
+	// ChargingCost must match the model's.
+	var wantCharging float64
+	for _, c := range res.Schedule.Coalitions {
+		wantCharging += cm.ChargingCost(c.Members, c.Charger)
+	}
+	if math.Abs(d.ChargingCost-wantCharging) > 1e-9 {
+		t.Errorf("charging cost %v, want %v", d.ChargingCost, wantCharging)
+	}
+	if d.TotalCost() != d.ChargerTravelCost+d.MemberTravelCost+d.ChargingCost {
+		t.Error("TotalCost inconsistent")
+	}
+}
+
+func TestPlanDispatchZeroRateMatchesFreeRendezvous(t *testing.T) {
+	// With free charger travel, the dispatch member+charging cost equals
+	// the rendezvous plan's total.
+	r := rand.New(rand.NewSource(602))
+	in := randInstance(r, 8, 2)
+	cm := mustCostModel(t, in)
+	res, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimizeRendezvous(cm, res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PlanDispatch(cm, res.Schedule, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ChargerTravelCost != 0 {
+		t.Errorf("free charger travel cost = %v", d.ChargerTravelCost)
+	}
+	if math.Abs(d.TotalCost()-plan.TotalCost) > 1e-6 {
+		t.Errorf("dispatch %v != rendezvous %v", d.TotalCost(), plan.TotalCost)
+	}
+}
+
+func TestPlanDispatchCapacitatedMultiSessionTour(t *testing.T) {
+	// The capacitated instance forces the small charger to host two
+	// sessions; its tour must visit both.
+	cm := mustCostModel(t, capacitatedInstance())
+	opt, err := Optimal(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := PlanDispatch(cm, opt, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, visits := range d.Tours {
+		total += len(visits)
+	}
+	if total != len(opt.Coalitions) {
+		t.Errorf("tours visit %d sessions, schedule has %d", total, len(opt.Coalitions))
+	}
+}
+
+func TestPlanDispatchValidation(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	if _, err := PlanDispatch(cm, &Schedule{}, 0.1); err == nil {
+		t.Error("empty schedule should error")
+	}
+}

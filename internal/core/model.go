@@ -1,0 +1,339 @@
+// Package core implements the Cooperative Charging Scheduling (CCS)
+// problem from "Cooperative Charging as Service: Scheduling for Mobile
+// Wireless Rechargeable Sensor Networks" (ICDCS 2021): the problem model,
+// the two intragroup cost-sharing schemes, and the four schedulers —
+// the noncooperative baseline, the CCSA approximation algorithm (greedy +
+// submodular function minimization), the CCSGA coalition-formation game,
+// and the exact optimum for small instances.
+//
+// Units: meters, joules, dollars.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/pricing"
+)
+
+// Device is a mobile rechargeable sensor node requesting charging service.
+type Device struct {
+	// ID is a human-readable identifier used in reports.
+	ID string
+	// Pos is the device's current position.
+	Pos geom.Point
+	// Demand is the energy the device needs to store, in joules (> 0).
+	Demand float64
+	// MoveRate is the device's travel cost per meter, in $/m (>= 0).
+	MoveRate float64
+}
+
+// Charger is a wireless charging service provider at a fixed service point.
+type Charger struct {
+	// ID is a human-readable identifier used in reports.
+	ID string
+	// Pos is the service point devices travel to.
+	Pos geom.Point
+	// Fee is the fixed per-session service fee, in $ (>= 0).
+	Fee float64
+	// Tariff prices the total energy purchased in a session. Must be
+	// nondecreasing and concave with Tariff.Price(0) == 0.
+	Tariff pricing.Tariff
+	// Efficiency is the WPT transfer efficiency in (0, 1]: storing e
+	// joules requires purchasing e/Efficiency joules.
+	Efficiency float64
+	// Capacity, when positive, caps the energy purchasable in one
+	// session (joules); zero means unlimited. Capacities model charger
+	// battery packs and are the extension studied by the capacitated
+	// variant of every scheduler.
+	Capacity float64
+}
+
+// Instance is one CCS problem: a set of devices to be partitioned into
+// charging coalitions, each served by one charger.
+type Instance struct {
+	// Field is the deployment area (informational; used by generators
+	// and reports).
+	Field geom.Rect
+	// Devices are the rechargeable devices (agents of the game).
+	Devices []Device
+	// Chargers are the available charging service providers.
+	Chargers []Charger
+}
+
+// Validate checks the instance is well-formed: at least one device and
+// charger, positive demands, nonnegative rates and fees, efficiencies in
+// (0,1], and tariffs passing a concavity spot-check.
+func (in *Instance) Validate() error {
+	if len(in.Devices) == 0 {
+		return errors.New("core: instance has no devices")
+	}
+	if len(in.Chargers) == 0 {
+		return errors.New("core: instance has no chargers")
+	}
+	var maxDemand float64
+	for i, d := range in.Devices {
+		if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
+			return fmt.Errorf("core: device %d (%s) demand %v invalid", i, d.ID, d.Demand)
+		}
+		if d.MoveRate < 0 || math.IsNaN(d.MoveRate) {
+			return fmt.Errorf("core: device %d (%s) move rate %v invalid", i, d.ID, d.MoveRate)
+		}
+		maxDemand += d.Demand
+	}
+	for j, c := range in.Chargers {
+		if c.Fee < 0 || math.IsNaN(c.Fee) {
+			return fmt.Errorf("core: charger %d (%s) fee %v invalid", j, c.ID, c.Fee)
+		}
+		if c.Efficiency <= 0 || c.Efficiency > 1 {
+			return fmt.Errorf("core: charger %d (%s) efficiency %v outside (0,1]", j, c.ID, c.Efficiency)
+		}
+		if c.Capacity < 0 || math.IsNaN(c.Capacity) {
+			return fmt.Errorf("core: charger %d (%s) capacity %v invalid", j, c.ID, c.Capacity)
+		}
+		if c.Tariff == nil {
+			return fmt.Errorf("core: charger %d (%s) has no tariff", j, c.ID)
+		}
+		if err := pricing.Validate(c.Tariff, maxDemand/c.Efficiency+1, 64); err != nil {
+			return fmt.Errorf("core: charger %d (%s): %w", j, c.ID, err)
+		}
+	}
+	// Capacitated feasibility: every device must fit alone at some
+	// charger, or no schedule exists at all.
+	for i, d := range in.Devices {
+		fits := false
+		for _, c := range in.Chargers {
+			if c.Capacity == 0 || d.Demand/c.Efficiency <= c.Capacity {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return fmt.Errorf("core: device %d (%s) fits no charger's session capacity", i, d.ID)
+		}
+	}
+	return nil
+}
+
+// Coalition is one charging session: the set of devices served together by
+// one charger.
+type Coalition struct {
+	// Charger indexes Instance.Chargers.
+	Charger int
+	// Members indexes Instance.Devices, sorted ascending.
+	Members []int
+}
+
+// Schedule is a solution to the CCS problem: a partition of the devices
+// into coalitions.
+type Schedule struct {
+	Coalitions []Coalition
+}
+
+// Validate checks that the schedule is a partition of the n devices and
+// references valid chargers (m of them).
+func (s *Schedule) Validate(n, m int) error {
+	seen := make([]bool, n)
+	covered := 0
+	for k, c := range s.Coalitions {
+		if c.Charger < 0 || c.Charger >= m {
+			return fmt.Errorf("core: coalition %d references charger %d of %d", k, c.Charger, m)
+		}
+		if len(c.Members) == 0 {
+			return fmt.Errorf("core: coalition %d is empty", k)
+		}
+		for _, i := range c.Members {
+			if i < 0 || i >= n {
+				return fmt.Errorf("core: coalition %d references device %d of %d", k, i, n)
+			}
+			if seen[i] {
+				return fmt.Errorf("core: device %d appears in multiple coalitions", i)
+			}
+			seen[i] = true
+			covered++
+		}
+	}
+	if covered != n {
+		return fmt.Errorf("core: schedule covers %d of %d devices", covered, n)
+	}
+	return nil
+}
+
+// MergeSameCharger merges coalitions that use the same charger. Under
+// concave tariffs and nonnegative fees this never increases total cost, so
+// every schedule is canonicalized to at most one coalition per charger.
+func (s *Schedule) MergeSameCharger() {
+	byCharger := make(map[int][]int)
+	order := make([]int, 0, len(s.Coalitions))
+	for _, c := range s.Coalitions {
+		if _, ok := byCharger[c.Charger]; !ok {
+			order = append(order, c.Charger)
+		}
+		byCharger[c.Charger] = append(byCharger[c.Charger], c.Members...)
+	}
+	merged := make([]Coalition, 0, len(byCharger))
+	for _, j := range order {
+		members := byCharger[j]
+		sort.Ints(members)
+		merged = append(merged, Coalition{Charger: j, Members: members})
+	}
+	s.Coalitions = merged
+}
+
+// CostModel precomputes the quantities cost evaluations need: per-device
+// demands, the device-to-charger moving-cost matrix, and per-device
+// standalone (noncooperative) costs. Build one per Instance and share it
+// across algorithm runs; it is read-only after construction and safe for
+// concurrent use.
+type CostModel struct {
+	inst *Instance
+	// move[i][j] is device i's travel cost to charger j, $.
+	move [][]float64
+	// standalone[i] is device i's cheapest singleton session cost, $.
+	standalone []float64
+	// standaloneCharger[i] is the charger attaining standalone[i].
+	standaloneCharger []int
+}
+
+// NewCostModel validates the instance and precomputes its cost tables.
+func NewCostModel(in *Instance) (*CostModel, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(in.Devices), len(in.Chargers)
+	cm := &CostModel{
+		inst:              in,
+		move:              make([][]float64, n),
+		standalone:        make([]float64, n),
+		standaloneCharger: make([]int, n),
+	}
+	for i := range in.Devices {
+		cm.move[i] = make([]float64, m)
+		for j := range in.Chargers {
+			cm.move[i][j] = in.Devices[i].MoveRate * in.Devices[i].Pos.Dist(in.Chargers[j].Pos)
+		}
+	}
+	for i := range in.Devices {
+		best, bestJ := math.Inf(1), -1
+		for j := range in.Chargers {
+			if !cm.Feasible([]int{i}, j) {
+				continue
+			}
+			if c := cm.SessionCost([]int{i}, j); c < best {
+				best, bestJ = c, j
+			}
+		}
+		cm.standalone[i] = best
+		cm.standaloneCharger[i] = bestJ
+	}
+	return cm, nil
+}
+
+// HasCapacity reports whether any charger constrains session energy.
+func (cm *CostModel) HasCapacity() bool {
+	for _, c := range cm.inst.Chargers {
+		if c.Capacity > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Feasible reports whether the members' combined purchase fits charger
+// j's session capacity.
+func (cm *CostModel) Feasible(members []int, j int) bool {
+	cap := cm.inst.Chargers[j].Capacity
+	if cap == 0 {
+		return true
+	}
+	return cm.Purchased(members, j) <= cap*(1+1e-12)
+}
+
+// ValidateCapacity checks every coalition of the schedule fits its
+// charger's session capacity.
+func (cm *CostModel) ValidateCapacity(s *Schedule) error {
+	for k, c := range s.Coalitions {
+		if !cm.Feasible(c.Members, c.Charger) {
+			return fmt.Errorf("core: coalition %d exceeds charger %d capacity (%.1f J > %.1f J)",
+				k, c.Charger, cm.Purchased(c.Members, c.Charger), cm.inst.Chargers[c.Charger].Capacity)
+		}
+	}
+	return nil
+}
+
+// Instance returns the underlying instance.
+func (cm *CostModel) Instance() *Instance { return cm.inst }
+
+// NumDevices returns the number of devices.
+func (cm *CostModel) NumDevices() int { return len(cm.inst.Devices) }
+
+// NumChargers returns the number of chargers.
+func (cm *CostModel) NumChargers() int { return len(cm.inst.Chargers) }
+
+// MovingCost returns device i's travel cost to charger j, $.
+func (cm *CostModel) MovingCost(i, j int) float64 { return cm.move[i][j] }
+
+// Purchased returns the energy purchased when the members are charged at
+// charger j: Σ demand_i / η_j, joules.
+func (cm *CostModel) Purchased(members []int, j int) float64 {
+	var e float64
+	for _, i := range members {
+		e += cm.inst.Devices[i].Demand
+	}
+	return e / cm.inst.Chargers[j].Efficiency
+}
+
+// ChargingCost returns the session's charging cost at charger j for the
+// members: fee + tariff(purchased). Zero for an empty member list.
+func (cm *CostModel) ChargingCost(members []int, j int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	ch := cm.inst.Chargers[j]
+	return ch.Fee + ch.Tariff.Price(cm.Purchased(members, j))
+}
+
+// SessionCost returns the comprehensive cost of serving the members in one
+// session at charger j: charging cost plus every member's moving cost.
+// Zero for an empty member list; this makes the per-charger session cost a
+// normalized submodular set function.
+func (cm *CostModel) SessionCost(members []int, j int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	cost := cm.ChargingCost(members, j)
+	for _, i := range members {
+		cost += cm.move[i][j]
+	}
+	return cost
+}
+
+// StandaloneCost returns device i's cheapest singleton session cost and
+// the charger attaining it.
+func (cm *CostModel) StandaloneCost(i int) (float64, int) {
+	return cm.standalone[i], cm.standaloneCharger[i]
+}
+
+// TotalCost returns the schedule's total comprehensive cost.
+func (cm *CostModel) TotalCost(s *Schedule) float64 {
+	var total float64
+	for _, c := range s.Coalitions {
+		total += cm.SessionCost(c.Members, c.Charger)
+	}
+	return total
+}
+
+// CoalitionOf returns the coalition containing device i, or nil.
+func (s *Schedule) CoalitionOf(i int) *Coalition {
+	for k := range s.Coalitions {
+		for _, member := range s.Coalitions[k].Members {
+			if member == i {
+				return &s.Coalitions[k]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxOptimalDevices bounds the exact solver: the set-partition dynamic
+// program enumerates 3^n (group, rest) splits.
+const MaxOptimalDevices = 18
+
+// Optimal solves the CCS instance exactly with a Bellman set-partition
+// dynamic program: dp[mask] is the cheapest cost of serving the devices in
+// mask, split as the coalition containing mask's lowest-indexed device
+// plus an optimal schedule of the rest. Runs in O(3^n + 2^n·m) time and
+// O(2^n) space; refuses instances above MaxOptimalDevices.
+func Optimal(cm *CostModel) (*Schedule, error) {
+	n, m := cm.NumDevices(), cm.NumChargers()
+	if n > MaxOptimalDevices {
+		return nil, fmt.Errorf("core: Optimal limited to %d devices, got %d", MaxOptimalDevices, n)
+	}
+	size := 1 << uint(n)
+	in := cm.Instance()
+
+	// demandSum[mask] = Σ demand over mask, via lowest-set-bit recurrence.
+	demandSum := make([]float64, size)
+	for mask := 1; mask < size; mask++ {
+		lsb := mask & -mask
+		i := bits.TrailingZeros(uint(mask))
+		demandSum[mask] = demandSum[mask^lsb] + in.Devices[i].Demand
+	}
+
+	// groupCost[mask] = min over chargers of the session cost of mask;
+	// groupCharger[mask] = the argmin.
+	groupCost := make([]float64, size)
+	groupCharger := make([]int, size)
+	for mask := 1; mask < size; mask++ {
+		groupCost[mask] = math.Inf(1)
+		groupCharger[mask] = -1
+	}
+	moveSum := make([]float64, size)
+	for j := 0; j < m; j++ {
+		ch := in.Chargers[j]
+		moveSum[0] = 0
+		for mask := 1; mask < size; mask++ {
+			lsb := mask & -mask
+			i := bits.TrailingZeros(uint(mask))
+			moveSum[mask] = moveSum[mask^lsb] + cm.MovingCost(i, j)
+			purchased := demandSum[mask] / ch.Efficiency
+			if ch.Capacity > 0 && purchased > ch.Capacity*(1+1e-12) {
+				continue // session capacity exceeded
+			}
+			cost := ch.Fee + ch.Tariff.Price(purchased) + moveSum[mask]
+			if cost < groupCost[mask] {
+				groupCost[mask] = cost
+				groupCharger[mask] = j
+			}
+		}
+	}
+
+	// dp over partitions: the coalition containing the lowest-indexed
+	// uncovered device ranges over submasks including that device.
+	dp := make([]float64, size)
+	choice := make([]int, size) // submask chosen as first coalition
+	for mask := 1; mask < size; mask++ {
+		dp[mask] = math.Inf(1)
+		low := mask & -mask
+		rest := mask ^ low
+		// Enumerate submasks sub of rest; coalition = sub | low.
+		for sub := rest; ; sub = (sub - 1) & rest {
+			grp := sub | low
+			if c := groupCost[grp] + dp[mask^grp]; c < dp[mask] {
+				dp[mask] = c
+				choice[mask] = grp
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+
+	if math.IsInf(dp[size-1], 1) {
+		return nil, fmt.Errorf("core: no feasible schedule (session capacities too tight)")
+	}
+
+	// Reconstruct.
+	s := &Schedule{}
+	for mask := size - 1; mask != 0; {
+		grp := choice[mask]
+		members := make([]int, 0, bits.OnesCount(uint(grp)))
+		for t := grp; t != 0; t &= t - 1 {
+			members = append(members, bits.TrailingZeros(uint(t)))
+		}
+		s.Coalitions = append(s.Coalitions, Coalition{
+			Charger: groupCharger[grp],
+			Members: members,
+		})
+		mask ^= grp
+	}
+	// Merging same-charger sessions is only safe without capacities.
+	if !cm.HasCapacity() {
+		s.MergeSameCharger()
+	}
+	return s, nil
+}

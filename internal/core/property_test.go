@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickInstance derives a valid random instance from quick-generated
+// integers, covering a spread of sizes and tariff shapes.
+func quickInstance(seedRaw int64, nRaw, mRaw uint8) *Instance {
+	r := rand.New(rand.NewSource(seedRaw))
+	n := 2 + int(nRaw)%8
+	m := 1 + int(mRaw)%4
+	return randInstance(r, n, m)
+}
+
+// Every scheduler, on every instance: a valid partition whose cost is
+// bounded below by the lower bound and above by noncooperation (for the
+// cooperative algorithms).
+func TestPropertySchedulersSound(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		lb := LowerBound(cm)
+		non := cm.TotalCost(Noncooperative(cm))
+		for _, s := range []Scheduler{CCSAScheduler{}, CCSGAScheduler{}} {
+			sched, err := s.Schedule(cm)
+			if err != nil {
+				return false
+			}
+			if sched.Validate(len(in.Devices), len(in.Chargers)) != nil {
+				return false
+			}
+			cost := cm.TotalCost(sched)
+			if cost < lb-1e-6*(1+lb) {
+				return false
+			}
+			if cost > non+1e-6*(1+non) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// PDS shares are nonnegative and sum to the coalition cost on arbitrary
+// coalitions of arbitrary instances.
+func TestPropertyPDSBudgetBalanced(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8, pick uint16) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		var members []int
+		for i := range in.Devices {
+			if pick&(1<<uint(i%16)) != 0 || i == 0 {
+				members = append(members, i)
+			}
+		}
+		j := int(mRaw) % len(in.Chargers)
+		shares, err := PDS{}.Shares(cm, Coalition{Charger: j, Members: members})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		want := cm.SessionCost(members, j)
+		return math.Abs(sum-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Session cost is monotone: adding a member never lowers the session cost
+// (fees fixed, tariffs nondecreasing, moving costs nonnegative).
+func TestPropertySessionCostMonotone(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8, extra uint8) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		n := len(in.Devices)
+		base := []int{0}
+		add := 1 + int(extra)%(n-1)
+		for j := range in.Chargers {
+			small := cm.SessionCost(base, j)
+			big := cm.SessionCost(append(append([]int(nil), base...), add), j)
+			if big < small-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Subadditivity of session cost across disjoint groups at one charger:
+// merging two sessions never costs more (fee paid once, tariff concave).
+func TestPropertySessionCostSubadditive(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		n := len(in.Devices)
+		var a, b []int
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				a = append(a, i)
+			} else {
+				b = append(b, i)
+			}
+		}
+		if len(a) == 0 || len(b) == 0 {
+			return true
+		}
+		for j := range in.Chargers {
+			merged := cm.SessionCost(append(append([]int(nil), a...), b...), j)
+			split := cm.SessionCost(a, j) + cm.SessionCost(b, j)
+			if merged > split+1e-9*(1+split) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// CCSA and CCSGA are deterministic functions of the instance (CCSGA with
+// Seed 0 uses round-robin order).
+func TestPropertySchedulersDeterministic(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		a1, err := CCSA(cm, CCSAOptions{})
+		if err != nil {
+			return false
+		}
+		a2, err := CCSA(cm, CCSAOptions{})
+		if err != nil {
+			return false
+		}
+		if cm.TotalCost(a1.Schedule) != cm.TotalCost(a2.Schedule) {
+			return false
+		}
+		g1, err := CCSGA(cm, CCSGAOptions{})
+		if err != nil {
+			return false
+		}
+		g2, err := CCSGA(cm, CCSGAOptions{})
+		if err != nil {
+			return false
+		}
+		return cm.TotalCost(g1.Schedule) == cm.TotalCost(g2.Schedule)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// MergeSameCharger is idempotent and cost-nonincreasing.
+func TestPropertyMergeSameChargerIdempotent(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		in := quickInstance(seed, nRaw, mRaw)
+		cm, err := NewCostModel(in)
+		if err != nil {
+			return false
+		}
+		s := Noncooperative(cm) // singletons: likely same-charger repeats
+		before := cm.TotalCost(s)
+		s.MergeSameCharger()
+		mid := cm.TotalCost(s)
+		coalitions := len(s.Coalitions)
+		s.MergeSameCharger()
+		if len(s.Coalitions) != coalitions {
+			return false
+		}
+		return mid <= before+1e-9*(1+before) &&
+			s.Validate(len(in.Devices), len(in.Chargers)) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// RendezvousPlan extends a schedule for mobile chargers: each session
+// meets at an optimized rendezvous point instead of the charger's home
+// position, trading the charger's travel against the members'.
+// This is the "mobile charger dispatch" extension: the charger drives to
+// the weighted geometric median of its customers (weights = moving-cost
+// rates), shrinking total travel cost while the charging cost is
+// unchanged.
+type RendezvousPlan struct {
+	// Schedule is the underlying coalition structure.
+	Schedule *Schedule
+	// Points holds one meeting point per coalition, aligned with
+	// Schedule.Coalitions.
+	Points []geom.Point
+	// TotalCost is the comprehensive cost with travel measured to the
+	// meeting points (members' moving cost + charger travel at
+	// ChargerMoveRate + charging cost).
+	TotalCost float64
+	// BaselineCost is the cost of the same schedule with every session
+	// held at the charger's home position (charger travel zero).
+	BaselineCost float64
+}
+
+// OptimizeRendezvous computes the best meeting point for every coalition
+// of the schedule, assuming chargers are mobile and travel at
+// chargerMoveRate $/m from their home positions. The charger's home
+// position is always a candidate, so the plan never costs more than the
+// baseline when chargerMoveRate prices its travel fairly — and with
+// chargerMoveRate = 0 the optimum is simply the members' weighted median.
+func OptimizeRendezvous(cm *CostModel, s *Schedule, chargerMoveRate float64) (*RendezvousPlan, error) {
+	if s == nil || len(s.Coalitions) == 0 {
+		return nil, errors.New("core: rendezvous over empty schedule")
+	}
+	if chargerMoveRate < 0 {
+		return nil, fmt.Errorf("core: negative charger move rate %v", chargerMoveRate)
+	}
+	in := cm.Instance()
+	plan := &RendezvousPlan{Schedule: s, Points: make([]geom.Point, len(s.Coalitions))}
+	for k, c := range s.Coalitions {
+		home := in.Chargers[c.Charger].Pos
+		pts := make([]geom.Point, 0, len(c.Members)+1)
+		wts := make([]float64, 0, len(c.Members)+1)
+		for _, i := range c.Members {
+			pts = append(pts, in.Devices[i].Pos)
+			wts = append(wts, in.Devices[i].MoveRate)
+		}
+		pts = append(pts, home)
+		wts = append(wts, chargerMoveRate)
+
+		meet := home
+		if sum := totalWeight(wts); sum > 0 {
+			m, err := geom.GeometricMedian(pts, wts, 1e-9)
+			if err != nil {
+				return nil, fmt.Errorf("core: coalition %d rendezvous: %w", k, err)
+			}
+			// Keep the cheaper of the median and the charger's home —
+			// Weiszfeld is iterative, so guard against any residual gap.
+			if geom.WeightedTotalDist(m, pts, wts) <= geom.WeightedTotalDist(home, pts, wts) {
+				meet = m
+			}
+		}
+		plan.Points[k] = meet
+
+		charging := cm.ChargingCost(c.Members, c.Charger)
+		plan.BaselineCost += charging
+		plan.TotalCost += charging
+		for _, i := range c.Members {
+			plan.BaselineCost += cm.MovingCost(i, c.Charger)
+			plan.TotalCost += in.Devices[i].MoveRate * in.Devices[i].Pos.Dist(meet)
+		}
+		plan.TotalCost += chargerMoveRate * home.Dist(meet)
+	}
+	return plan, nil
+}
+
+func totalWeight(w []float64) float64 {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOptimizeRendezvousNeverWorse(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(r, 10, 3)
+		cm := mustCostModel(t, in)
+		res, err := CCSA(cm, CCSAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rate := range []float64{0, 0.005, 0.02, 1} {
+			plan, err := OptimizeRendezvous(cm, res.Schedule, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.TotalCost > plan.BaselineCost+1e-9*(1+plan.BaselineCost) {
+				t.Fatalf("trial %d rate %v: rendezvous cost %v above baseline %v",
+					trial, rate, plan.TotalCost, plan.BaselineCost)
+			}
+			if len(plan.Points) != len(res.Schedule.Coalitions) {
+				t.Fatal("points misaligned")
+			}
+		}
+	}
+}
+
+func TestOptimizeRendezvousBaselineMatchesTotalCost(t *testing.T) {
+	r := rand.New(rand.NewSource(502))
+	in := randInstance(r, 8, 3)
+	cm := mustCostModel(t, in)
+	res, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := OptimizeRendezvous(cm, res.Schedule, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cm.TotalCost(res.Schedule)
+	if diff := plan.BaselineCost - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("baseline %v != schedule cost %v", plan.BaselineCost, want)
+	}
+}
+
+func TestOptimizeRendezvousFreeChargerTravel(t *testing.T) {
+	// With a free-moving charger, the meeting point is the members'
+	// weighted median, so member travel strictly drops whenever members
+	// are not already at the charger.
+	cm := mustCostModel(t, testInstance())
+	s := &Schedule{Coalitions: []Coalition{{Charger: 0, Members: []int{0, 1}}}}
+	plan, err := OptimizeRendezvous(cm, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalCost >= plan.BaselineCost {
+		t.Errorf("free charger travel should strictly improve: %v vs %v",
+			plan.TotalCost, plan.BaselineCost)
+	}
+}
+
+func TestOptimizeRendezvousExpensiveChargerStaysHome(t *testing.T) {
+	// A prohibitively expensive charger move keeps the meeting at home.
+	cm := mustCostModel(t, testInstance())
+	s := &Schedule{Coalitions: []Coalition{{Charger: 0, Members: []int{0, 1}}}}
+	plan, err := OptimizeRendezvous(cm, s, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := cm.Instance().Chargers[0].Pos
+	if plan.Points[0].Dist(home) > 1e-3 {
+		t.Errorf("meeting point %v should stay at charger home %v", plan.Points[0], home)
+	}
+	if diff := plan.TotalCost - plan.BaselineCost; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("staying home should match baseline: %v vs %v", plan.TotalCost, plan.BaselineCost)
+	}
+}
+
+func TestOptimizeRendezvousValidation(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	if _, err := OptimizeRendezvous(cm, &Schedule{}, 0.1); err == nil {
+		t.Error("empty schedule should error")
+	}
+	s := &Schedule{Coalitions: []Coalition{{Charger: 0, Members: []int{0, 1}}}}
+	if _, err := OptimizeRendezvous(cm, s, -1); err == nil {
+		t.Error("negative rate should error")
+	}
+}

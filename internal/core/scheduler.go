@@ -1,0 +1,76 @@
+package core
+
+// Scheduler is the common interface the lifetime simulator, the testbed
+// and the experiment harness use to run any of the four algorithms
+// interchangeably.
+type Scheduler interface {
+	// Name returns the algorithm's table label (NONCOOP, CCSA, CCSGA, OPT).
+	Name() string
+	// Schedule solves the instance behind cm.
+	Schedule(cm *CostModel) (*Schedule, error)
+}
+
+// NoncoopScheduler wraps Noncooperative.
+type NoncoopScheduler struct{}
+
+var _ Scheduler = NoncoopScheduler{}
+
+// Name implements Scheduler.
+func (NoncoopScheduler) Name() string { return "NONCOOP" }
+
+// Schedule implements Scheduler.
+func (NoncoopScheduler) Schedule(cm *CostModel) (*Schedule, error) {
+	return Noncooperative(cm), nil
+}
+
+// CCSAScheduler wraps CCSA.
+type CCSAScheduler struct {
+	Opts CCSAOptions
+}
+
+var _ Scheduler = CCSAScheduler{}
+
+// Name implements Scheduler.
+func (CCSAScheduler) Name() string { return "CCSA" }
+
+// Schedule implements Scheduler.
+func (s CCSAScheduler) Schedule(cm *CostModel) (*Schedule, error) {
+	res, err := CCSA(cm, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// CCSGAScheduler wraps CCSGA.
+type CCSGAScheduler struct {
+	Opts CCSGAOptions
+}
+
+var _ Scheduler = CCSGAScheduler{}
+
+// Name implements Scheduler.
+func (CCSGAScheduler) Name() string { return "CCSGA" }
+
+// Schedule implements Scheduler.
+func (s CCSGAScheduler) Schedule(cm *CostModel) (*Schedule, error) {
+	res, err := CCSGA(cm, s.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
+}
+
+// OptimalScheduler wraps Optimal; it fails on instances larger than
+// MaxOptimalDevices.
+type OptimalScheduler struct{}
+
+var _ Scheduler = OptimalScheduler{}
+
+// Name implements Scheduler.
+func (OptimalScheduler) Name() string { return "OPT" }
+
+// Schedule implements Scheduler.
+func (OptimalScheduler) Schedule(cm *CostModel) (*Schedule, error) {
+	return Optimal(cm)
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSchedulersProduceValidSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	in := randInstance(r, 8, 3)
+	cm := mustCostModel(t, in)
+	schedulers := []Scheduler{
+		NoncoopScheduler{},
+		CCSAScheduler{},
+		CCSGAScheduler{},
+		OptimalScheduler{},
+	}
+	wantNames := []string{"NONCOOP", "CCSA", "CCSGA", "OPT"}
+	for k, s := range schedulers {
+		if s.Name() != wantNames[k] {
+			t.Errorf("scheduler %d name = %q, want %q", k, s.Name(), wantNames[k])
+		}
+		sched, err := s.Schedule(cm)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if err := sched.Validate(8, 3); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestOptimalSchedulerPropagatesSizeError(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	in := randInstance(r, MaxOptimalDevices+2, 2)
+	cm := mustCostModel(t, in)
+	if _, err := (OptimalScheduler{}).Schedule(cm); err == nil {
+		t.Error("expected size error")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Shapley splits a coalition's session cost by the Shapley value of the
+// induced cost game v(T) = SessionCost(T, charger), T ⊆ members: each
+// member pays its average marginal cost over all join orders. It is the
+// unique budget-balanced, symmetric, additive scheme, and under concave
+// tariffs (v submodular) the Shapley value lies in the core.
+//
+// Exact computation enumerates all 2^s subsets and is used up to
+// ExactShapleyMax members; larger coalitions use seeded permutation
+// sampling (SampleCount permutations), which is budget-balanced after a
+// proportional correction.
+type Shapley struct {
+	// SampleCount is the number of sampled permutations for large
+	// coalitions; zero means DefaultShapleySamples.
+	SampleCount int
+	// Seed drives the permutation sampling; the same seed gives the same
+	// shares.
+	Seed int64
+}
+
+// Shapley sizing defaults.
+const (
+	// ExactShapleyMax is the largest coalition for which the exact
+	// 2^s-subset formula is used.
+	ExactShapleyMax = 16
+	// DefaultShapleySamples is the default permutation sample count.
+	DefaultShapleySamples = 2000
+)
+
+var _ SharingScheme = Shapley{}
+
+// Name implements SharingScheme.
+func (Shapley) Name() string { return "Shapley" }
+
+// Shares implements SharingScheme.
+func (s Shapley) Shares(cm *CostModel, c Coalition) ([]float64, error) {
+	k := len(c.Members)
+	if k == 0 {
+		return nil, errors.New("core: sharing over empty coalition")
+	}
+	if k <= ExactShapleyMax {
+		return s.exact(cm, c)
+	}
+	return s.sampled(cm, c)
+}
+
+// exact computes the Shapley value with the subset-sum formula:
+// φ_i = Σ_{T ∌ i} |T|!(s−|T|−1)!/s! · (v(T∪i) − v(T)).
+func (Shapley) exact(cm *CostModel, c Coalition) ([]float64, error) {
+	k := len(c.Members)
+	size := 1 << uint(k)
+
+	// v(T) for every subset T (local indices into c.Members).
+	v := make([]float64, size)
+	scratch := make([]int, 0, k)
+	for mask := 1; mask < size; mask++ {
+		scratch = scratch[:0]
+		for t := mask; t != 0; t &= t - 1 {
+			scratch = append(scratch, c.Members[bits.TrailingZeros(uint(t))])
+		}
+		v[mask] = cm.SessionCost(scratch, c.Charger)
+	}
+
+	// weight[t] = t!(k-t-1)!/k! computed iteratively to avoid overflow.
+	weight := make([]float64, k)
+	weight[0] = 1 / float64(k)
+	for t := 1; t < k; t++ {
+		// weight[t]/weight[t-1] = t/(k-t).
+		weight[t] = weight[t-1] * float64(t) / float64(k-t)
+	}
+
+	out := make([]float64, k)
+	for i := 0; i < k; i++ {
+		bit := 1 << uint(i)
+		var phi float64
+		for mask := 0; mask < size; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			phi += weight[bits.OnesCount(uint(mask))] * (v[mask|bit] - v[mask])
+		}
+		out[i] = phi
+	}
+	return out, nil
+}
+
+// sampled estimates the Shapley value by averaging marginal costs over
+// random join orders, then rescales so shares sum exactly to the session
+// cost (budget balance).
+func (s Shapley) sampled(cm *CostModel, c Coalition) ([]float64, error) {
+	k := len(c.Members)
+	samples := s.SampleCount
+	if samples <= 0 {
+		samples = DefaultShapleySamples
+	}
+	r := rng.Derive(s.Seed, "shapley", fmt.Sprintf("charger-%d", c.Charger))
+
+	sums := make([]float64, k)
+	prefix := make([]int, 0, k)
+	for iter := 0; iter < samples; iter++ {
+		perm := r.Perm(k)
+		prefix = prefix[:0]
+		prev := 0.0
+		for _, local := range perm {
+			prefix = append(prefix, c.Members[local])
+			cur := cm.SessionCost(prefix, c.Charger)
+			sums[local] += cur - prev
+			prev = cur
+		}
+	}
+	total := cm.SessionCost(c.Members, c.Charger)
+	var est float64
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = sums[i] / float64(samples)
+		est += out[i]
+	}
+	if est != 0 {
+		scale := total / est
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out, nil
+}

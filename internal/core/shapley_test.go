@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestShapleyBudgetBalanceExact(t *testing.T) {
+	r := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(r, 8, 3)
+		cm := mustCostModel(t, in)
+		c := Coalition{Charger: r.Intn(3), Members: []int{0, 1, 3, 5, 7}}
+		shares, err := (Shapley{}).Shares(cm, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		want := cm.SessionCost(c.Members, c.Charger)
+		if math.Abs(sum-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: shares sum %v != cost %v", trial, sum, want)
+		}
+	}
+}
+
+func TestShapleyMatchesPermutationDefinition(t *testing.T) {
+	// Exact subset-sum formula vs direct enumeration of all 3! orders on
+	// a 3-member coalition.
+	cm := mustCostModel(t, testInstance2())
+	c := Coalition{Charger: 0, Members: []int{0, 1, 2}}
+	got, err := (Shapley{}).Shares(cm, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	want := make([]float64, 3)
+	for _, perm := range perms {
+		var prefix []int
+		prev := 0.0
+		for _, local := range perm {
+			prefix = append(prefix, c.Members[local])
+			cur := cm.SessionCost(prefix, c.Charger)
+			want[local] += (cur - prev) / float64(len(perms))
+			prev = cur
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("member %d: exact %v, permutation definition %v", i, got[i], want[i])
+		}
+	}
+}
+
+// testInstance2 is a 3-device instance for Shapley hand checks.
+func testInstance2() *Instance {
+	in := testInstance()
+	in.Devices = append(in.Devices, Device{
+		ID: "d2", Pos: in.Devices[0].Pos, Demand: 150, MoveRate: 0.01,
+	})
+	return in
+}
+
+func TestShapleySymmetry(t *testing.T) {
+	// Identical devices must receive identical shares.
+	in := testInstance()
+	in.Devices[1] = in.Devices[0]
+	in.Devices[1].ID = "clone"
+	cm := mustCostModel(t, in)
+	shares, err := (Shapley{}).Shares(cm, Coalition{Charger: 0, Members: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(shares[0]-shares[1]) > 1e-9 {
+		t.Errorf("asymmetric shares for identical devices: %v vs %v", shares[0], shares[1])
+	}
+}
+
+func TestShapleyInCoreSmall(t *testing.T) {
+	// With submodular session costs the Shapley value is in the core:
+	// no sub-coalition pays more together than its own session would
+	// cost (Σ_{i∈T} φ_i ≤ v(T) for all T).
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 5; trial++ {
+		in := randInstance(r, 6, 2)
+		cm := mustCostModel(t, in)
+		c := Coalition{Charger: 0, Members: []int{0, 1, 2, 3, 4, 5}}
+		shares, err := (Shapley{}).Shares(cm, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mask := 1; mask < 1<<6; mask++ {
+			var members []int
+			var sum float64
+			for i := 0; i < 6; i++ {
+				if mask&(1<<i) != 0 {
+					members = append(members, i)
+					sum += shares[i]
+				}
+			}
+			if v := cm.SessionCost(members, 0); sum > v+1e-9*(1+v) {
+				t.Fatalf("trial %d: core violated for %v: Σφ=%v > v=%v", trial, members, sum, v)
+			}
+		}
+	}
+}
+
+func TestShapleySampledBudgetBalanceAndStability(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	in := randInstance(r, ExactShapleyMax+4, 2)
+	cm := mustCostModel(t, in)
+	members := make([]int, ExactShapleyMax+4)
+	for i := range members {
+		members[i] = i
+	}
+	c := Coalition{Charger: 1, Members: members}
+	s := Shapley{Seed: 42, SampleCount: 500}
+	shares, err := s.Shares(cm, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, sh := range shares {
+		sum += sh
+	}
+	want := cm.SessionCost(members, 1)
+	if math.Abs(sum-want) > 1e-9*(1+want) {
+		t.Fatalf("sampled shares not budget-balanced: %v vs %v", sum, want)
+	}
+	again, err := s.Shares(cm, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shares {
+		if shares[i] != again[i] {
+			t.Fatal("sampled Shapley not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestShapleyEmptyCoalition(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	if _, err := (Shapley{}).Shares(cm, Coalition{Charger: 0}); err == nil {
+		t.Error("empty coalition should error")
+	}
+}
+
+func TestShapleySingleton(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	shares, err := (Shapley{}).Shares(cm, Coalition{Charger: 1, Members: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cm.SessionCost([]int{0}, 1)
+	if math.Abs(shares[0]-want) > 1e-9 {
+		t.Errorf("singleton Shapley = %v, want %v", shares[0], want)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SharingScheme splits a coalition's comprehensive cost among its members.
+// Both schemes in the paper are budget-balanced: shares sum exactly to the
+// coalition's session cost.
+type SharingScheme interface {
+	// Name returns a short identifier for tables ("PDS", "ESS").
+	Name() string
+	// Shares returns each member's cost share, aligned with c.Members.
+	Shares(cm *CostModel, c Coalition) ([]float64, error)
+}
+
+// PDS is proportional-demand sharing: each member pays its own moving
+// cost plus a slice of the session's charging cost proportional to its
+// purchased energy. Under concave tariffs PDS is cross-monotonic — a
+// member's share never increases when the coalition grows — which places
+// the shares in the core of the induced cost-sharing game.
+type PDS struct{}
+
+var _ SharingScheme = PDS{}
+
+// Name implements SharingScheme.
+func (PDS) Name() string { return "PDS" }
+
+// Shares implements SharingScheme.
+func (PDS) Shares(cm *CostModel, c Coalition) ([]float64, error) {
+	if len(c.Members) == 0 {
+		return nil, errors.New("core: sharing over empty coalition")
+	}
+	total := cm.Purchased(c.Members, c.Charger)
+	if total <= 0 {
+		return nil, fmt.Errorf("core: coalition at charger %d has zero purchased energy", c.Charger)
+	}
+	charging := cm.ChargingCost(c.Members, c.Charger)
+	eta := cm.Instance().Chargers[c.Charger].Efficiency
+	out := make([]float64, len(c.Members))
+	for k, i := range c.Members {
+		purchased := cm.Instance().Devices[i].Demand / eta
+		out[k] = cm.MovingCost(i, c.Charger) + charging*purchased/total
+	}
+	return out, nil
+}
+
+// ESS is egalitarian-surplus sharing: each member pays its standalone
+// (noncooperative) cost minus an equal slice of the coalition's surplus
+// Σσ − C(S). It is budget-balanced, and individually rational whenever the
+// surplus is nonnegative (every member weakly gains from cooperating).
+type ESS struct{}
+
+var _ SharingScheme = ESS{}
+
+// Name implements SharingScheme.
+func (ESS) Name() string { return "ESS" }
+
+// Shares implements SharingScheme.
+func (ESS) Shares(cm *CostModel, c Coalition) ([]float64, error) {
+	if len(c.Members) == 0 {
+		return nil, errors.New("core: sharing over empty coalition")
+	}
+	cost := cm.SessionCost(c.Members, c.Charger)
+	var sigmaSum float64
+	for _, i := range c.Members {
+		sigma, _ := cm.StandaloneCost(i)
+		sigmaSum += sigma
+	}
+	surplusPer := (sigmaSum - cost) / float64(len(c.Members))
+	out := make([]float64, len(c.Members))
+	for k, i := range c.Members {
+		sigma, _ := cm.StandaloneCost(i)
+		out[k] = sigma - surplusPer
+	}
+	return out, nil
+}
+
+// ScheduleShares computes every device's share under the scheme, indexed
+// by device. The schedule must be a valid partition.
+func ScheduleShares(cm *CostModel, s *Schedule, scheme SharingScheme) ([]float64, error) {
+	out := make([]float64, cm.NumDevices())
+	for _, c := range s.Coalitions {
+		shares, err := scheme.Shares(cm, c)
+		if err != nil {
+			return nil, fmt.Errorf("coalition at charger %d: %w", c.Charger, err)
+		}
+		for k, i := range c.Members {
+			out[i] = shares[k]
+		}
+	}
+	return out, nil
+}

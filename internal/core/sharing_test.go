@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPDSBudgetBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(r, 6, 3)
+		cm := mustCostModel(t, in)
+		c := Coalition{Charger: r.Intn(3), Members: []int{0, 2, 4, 5}}
+		shares, err := PDS{}.Shares(cm, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		want := cm.SessionCost(c.Members, c.Charger)
+		if math.Abs(sum-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: PDS shares sum %v, session cost %v", trial, sum, want)
+		}
+	}
+}
+
+func TestESSBudgetBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		in := randInstance(r, 6, 3)
+		cm := mustCostModel(t, in)
+		c := Coalition{Charger: r.Intn(3), Members: []int{1, 2, 3}}
+		shares, err := ESS{}.Shares(cm, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		want := cm.SessionCost(c.Members, c.Charger)
+		if math.Abs(sum-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: ESS shares sum %v, session cost %v", trial, sum, want)
+		}
+	}
+}
+
+// PDS cross-monotonicity: a member's share never increases when the
+// coalition grows (under concave tariffs). This is what sustains
+// cooperation: joiners can only help incumbents.
+func TestPDSCrossMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(r, 8, 3)
+		cm := mustCostModel(t, in)
+		j := r.Intn(3)
+		small := []int{0, 1, 2}
+		big := []int{0, 1, 2, 3, 4}
+		sharesSmall, err := PDS{}.Shares(cm, Coalition{Charger: j, Members: small})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharesBig, err := PDS{}.Shares(cm, Coalition{Charger: j, Members: big})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range small {
+			if sharesBig[k] > sharesSmall[k]+1e-9 {
+				t.Fatalf("trial %d: device %d share rose %v -> %v when coalition grew",
+					trial, small[k], sharesSmall[k], sharesBig[k])
+			}
+		}
+	}
+}
+
+// ESS individual rationality: when the coalition has nonnegative surplus,
+// no member pays more than its standalone cost.
+func TestESSIndividuallyRational(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 30; trial++ {
+		in := randInstance(r, 7, 3)
+		cm := mustCostModel(t, in)
+		j := r.Intn(3)
+		members := []int{0, 1, 2, 3}
+		cost := cm.SessionCost(members, j)
+		var sigmaSum float64
+		for _, i := range members {
+			s, _ := cm.StandaloneCost(i)
+			sigmaSum += s
+		}
+		if sigmaSum < cost {
+			continue // negative surplus: IR not promised
+		}
+		shares, err := ESS{}.Shares(cm, Coalition{Charger: j, Members: members})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, i := range members {
+			sigma, _ := cm.StandaloneCost(i)
+			if shares[k] > sigma+1e-9 {
+				t.Fatalf("trial %d: device %d pays %v above standalone %v", trial, i, shares[k], sigma)
+			}
+		}
+	}
+}
+
+// ESS distributes the surplus equally: every member's saving
+// (standalone − share) is identical.
+func TestESSEqualSavings(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	members := []int{0, 1}
+	shares, err := ESS{}.Shares(cm, Coalition{Charger: 0, Members: members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings := make([]float64, len(members))
+	for k, i := range members {
+		sigma, _ := cm.StandaloneCost(i)
+		savings[k] = sigma - shares[k]
+	}
+	if math.Abs(savings[0]-savings[1]) > 1e-9 {
+		t.Errorf("unequal savings %v vs %v", savings[0], savings[1])
+	}
+}
+
+func TestSharesRejectEmptyCoalition(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	if _, err := (PDS{}).Shares(cm, Coalition{Charger: 0}); err == nil {
+		t.Error("PDS empty coalition should error")
+	}
+	if _, err := (ESS{}).Shares(cm, Coalition{Charger: 0}); err == nil {
+		t.Error("ESS empty coalition should error")
+	}
+}
+
+func TestScheduleShares(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	s := &Schedule{Coalitions: []Coalition{{0, []int{0}}, {1, []int{1}}}}
+	for _, scheme := range []SharingScheme{PDS{}, ESS{}} {
+		shares, err := ScheduleShares(cm, s, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme.Name(), err)
+		}
+		if len(shares) != 2 {
+			t.Fatalf("%s: len = %d", scheme.Name(), len(shares))
+		}
+		total := shares[0] + shares[1]
+		want := cm.TotalCost(s)
+		if math.Abs(total-want) > 1e-9 {
+			t.Errorf("%s: shares total %v, schedule cost %v", scheme.Name(), total, want)
+		}
+	}
+}
+
+// Singleton coalitions: both schemes charge exactly the session cost.
+func TestSingletonSharesEqualSessionCost(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	for _, scheme := range []SharingScheme{PDS{}, ESS{}} {
+		c := Coalition{Charger: 1, Members: []int{0}}
+		shares, err := scheme.Shares(cm, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cm.SessionCost(c.Members, 1)
+		if math.Abs(shares[0]-want) > 1e-9 {
+			t.Errorf("%s singleton share = %v, want %v", scheme.Name(), shares[0], want)
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if (PDS{}).Name() != "PDS" || (ESS{}).Name() != "ESS" {
+		t.Error("scheme names wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
+
+// TimelineParams sets the physical rates behind a schedule's service
+// timeline.
+type TimelineParams struct {
+	// DeviceSpeedMps is the devices' travel speed, m/s (> 0).
+	DeviceSpeedMps float64
+	// TxPowerW is the chargers' transmit power, watts (> 0).
+	TxPowerW float64
+	// Link maps distance to WPT efficiency during the session; devices
+	// charge adjacent to the service point, so Efficiency(0) governs.
+	// Its Eta0 should match the charger's Efficiency field for
+	// consistent energy accounting.
+	Link energy.WPTLink
+}
+
+// SessionTiming is the temporal footprint of one coalition's session.
+type SessionTiming struct {
+	// GatherSeconds is the time until the last member arrives.
+	GatherSeconds float64
+	// TransferSeconds is the WPT transfer time for the session's energy.
+	TransferSeconds float64
+	// CompleteSeconds is GatherSeconds + TransferSeconds.
+	CompleteSeconds float64
+}
+
+// Timeline is the temporal analysis of a schedule, aligned with its
+// coalitions.
+type Timeline struct {
+	Sessions []SessionTiming
+	// MakespanSeconds is the time until every session completes,
+	// assuming sessions at different chargers run in parallel and
+	// same-charger sessions run back to back.
+	MakespanSeconds float64
+}
+
+// ScheduleTimeline computes when each session of the schedule completes:
+// members travel at DeviceSpeedMps, then the charger transfers the
+// session's purchased energy at TxPowerW through the link. Sessions
+// hosted by the same charger are serialized in schedule order.
+func ScheduleTimeline(cm *CostModel, s *Schedule, p TimelineParams) (*Timeline, error) {
+	if p.DeviceSpeedMps <= 0 {
+		return nil, fmt.Errorf("core: device speed %v <= 0", p.DeviceSpeedMps)
+	}
+	if p.TxPowerW <= 0 {
+		return nil, fmt.Errorf("core: tx power %v <= 0", p.TxPowerW)
+	}
+	if s == nil || len(s.Coalitions) == 0 {
+		return nil, fmt.Errorf("core: timeline of empty schedule")
+	}
+	in := cm.Instance()
+	tl := &Timeline{Sessions: make([]SessionTiming, len(s.Coalitions))}
+	chargerFree := make(map[int]float64) // charger -> time it frees up
+	for k, c := range s.Coalitions {
+		var gather float64
+		for _, i := range c.Members {
+			d := in.Devices[i].Pos.Dist(in.Chargers[c.Charger].Pos)
+			if t := d / p.DeviceSpeedMps; t > gather {
+				gather = t
+			}
+		}
+		// The session needs the purchased energy emitted; devices sit at
+		// the service point, so the transfer runs at the contact
+		// efficiency of the link. Stored energy = total demand.
+		var demand float64
+		for _, i := range c.Members {
+			demand += in.Devices[i].Demand
+		}
+		transfer, err := p.Link.TransferTime(demand, 0, p.TxPowerW)
+		if err != nil {
+			return nil, fmt.Errorf("core: coalition %d transfer: %w", k, err)
+		}
+		start := gather
+		if free := chargerFree[c.Charger]; free > start {
+			start = free
+		}
+		complete := start + transfer
+		chargerFree[c.Charger] = complete
+		tl.Sessions[k] = SessionTiming{
+			GatherSeconds:   gather,
+			TransferSeconds: transfer,
+			CompleteSeconds: complete,
+		}
+		if complete > tl.MakespanSeconds {
+			tl.MakespanSeconds = complete
+		}
+	}
+	return tl, nil
+}

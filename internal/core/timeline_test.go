@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func timelineParams() TimelineParams {
+	return TimelineParams{
+		DeviceSpeedMps: 1,
+		TxPowerW:       10,
+		Link:           energy.WPTLink{Eta0: 0.8, D0: 1e9},
+	}
+}
+
+func TestScheduleTimelineHandChecked(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	// Both devices at charger 0: d0 travels 0 m, d1 travels 100 m at
+	// 1 m/s → gather 100 s. Stored energy 300 J at 10 W × 0.8 = 8 W →
+	// 37.5 s transfer.
+	s := &Schedule{Coalitions: []Coalition{{Charger: 0, Members: []int{0, 1}}}}
+	tl, err := ScheduleTimeline(cm, s, timelineParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tl.Sessions[0]
+	if math.Abs(got.GatherSeconds-100) > 1e-9 {
+		t.Errorf("gather = %v, want 100", got.GatherSeconds)
+	}
+	if math.Abs(got.TransferSeconds-37.5) > 1e-9 {
+		t.Errorf("transfer = %v, want 37.5", got.TransferSeconds)
+	}
+	if math.Abs(tl.MakespanSeconds-137.5) > 1e-9 {
+		t.Errorf("makespan = %v, want 137.5", tl.MakespanSeconds)
+	}
+}
+
+func TestScheduleTimelineSerializesSameCharger(t *testing.T) {
+	cm := mustCostModel(t, capacitatedInstance())
+	s := &Schedule{Coalitions: []Coalition{
+		{Charger: 0, Members: []int{0, 1}},
+		{Charger: 0, Members: []int{2, 3}},
+	}}
+	tl, err := ScheduleTimeline(cm, s, timelineParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := tl.Sessions[0], tl.Sessions[1]
+	if second.CompleteSeconds < first.CompleteSeconds+second.TransferSeconds-1e-9 {
+		t.Errorf("second session (%v) did not wait for the first (%v)",
+			second.CompleteSeconds, first.CompleteSeconds)
+	}
+	if tl.MakespanSeconds != second.CompleteSeconds {
+		t.Errorf("makespan %v != last completion %v", tl.MakespanSeconds, second.CompleteSeconds)
+	}
+}
+
+func TestScheduleTimelineParallelChargers(t *testing.T) {
+	r := rand.New(rand.NewSource(801))
+	in := randInstance(r, 10, 4)
+	cm := mustCostModel(t, in)
+	res, err := CCSA(cm, CCSAOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := ScheduleTimeline(cm, res.Schedule, timelineParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan equals the max completion, and each session's completion
+	// is at least gather + transfer.
+	var maxComplete float64
+	for _, st := range tl.Sessions {
+		if st.CompleteSeconds < st.GatherSeconds+st.TransferSeconds-1e-9 {
+			t.Error("session completed before gathering + transferring")
+		}
+		if st.CompleteSeconds > maxComplete {
+			maxComplete = st.CompleteSeconds
+		}
+	}
+	if math.Abs(tl.MakespanSeconds-maxComplete) > 1e-9 {
+		t.Errorf("makespan %v != max completion %v", tl.MakespanSeconds, maxComplete)
+	}
+}
+
+func TestScheduleTimelineValidation(t *testing.T) {
+	cm := mustCostModel(t, testInstance())
+	s := &Schedule{Coalitions: []Coalition{{Charger: 0, Members: []int{0, 1}}}}
+	p := timelineParams()
+	p.DeviceSpeedMps = 0
+	if _, err := ScheduleTimeline(cm, s, p); err == nil {
+		t.Error("zero speed should error")
+	}
+	p = timelineParams()
+	p.TxPowerW = 0
+	if _, err := ScheduleTimeline(cm, s, p); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := ScheduleTimeline(cm, &Schedule{}, timelineParams()); err == nil {
+		t.Error("empty schedule should error")
+	}
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config controls how experiments run.
+type Config struct {
+	// Seed is the base seed of every derived random stream. The default
+	// (zero) maps to 2021.
+	Seed int64
+	// Reps overrides each experiment's replication count when positive.
+	Reps int
+	// Quick shrinks sweeps and replications for smoke tests and benches.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2021
+	}
+	return c
+}
+
+// reps picks the replication count: explicit override, else quick or full
+// default.
+func (c Config) reps(full, quick int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Result is a completed experiment.
+type Result struct {
+	// ID is the experiment identifier (table1, fig3, …).
+	ID string
+	// Table is the regenerated table/figure data.
+	Table *Table
+	// Notes carry the headline comparisons against the paper's numbers.
+	Notes []string
+	// Chart, when nonempty, is a terminal rendering of the figure
+	// (bar chart or multi-series sweep sketch).
+	Chart string
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the stable identifier used by cmd/ccsim and the benches.
+	ID string
+	// Title describes what the paper reports there.
+	Title string
+	// Run executes the workload.
+	Run func(Config) (*Result, error)
+}
+
+// Registry returns every experiment, sorted by ID.
+func Registry() []Experiment {
+	exps := []Experiment{
+		table1(),
+		fig3(),
+		fig4(),
+		fig5(),
+		fig6(),
+		fig7(),
+		fig8(),
+		fig9(),
+		table2(),
+		fig10(),
+		ext1(),
+		ext2(),
+		ext3(),
+		ext4(),
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
+}

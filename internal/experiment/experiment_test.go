@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333")
+	text := tbl.Text()
+	if !strings.Contains(text, "demo") || !strings.Contains(text, "long-column") {
+		t.Errorf("Text missing content:\n%s", text)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), text)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Columns: []string{"x", "y"}}
+	tbl.AddRow(`has,comma`, `has"quote`)
+	csv := tbl.CSV()
+	want := "x,y\n\"has,comma\",\"has\"\"quote\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" {
+		t.Errorf("F = %q", F(1.234))
+	}
+	if Pct(0.273) != "27.3%" {
+		t.Errorf("Pct = %q", Pct(0.273))
+	}
+	if MeanCI(10, 0.5) != "10.00 ± 0.50" {
+		t.Errorf("MeanCI = %q", MeanCI(10, 0.5))
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ext1-capacity", "ext2-dispatch", "ext3-online", "ext4-auction", "fig10", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"}
+	got := Registry()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	e, err := Get("table1")
+	if err != nil || e.ID != "table1" {
+		t.Errorf("Get(table1) = %v, %v", e.ID, err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-runs every experiment in Quick mode:
+// each must produce a table with rows and at least one note.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Config{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != %q", res.ID, e.ID)
+			}
+			if res.Table == nil || len(res.Table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if len(res.Notes) == 0 {
+				t.Error("no notes")
+			}
+			if res.Table.Text() == "" || res.Table.CSV() == "" {
+				t.Error("rendering failed")
+			}
+		})
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism check skipped in -short mode")
+	}
+	e, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Text() != b.Table.Text() {
+		t.Error("same config produced different tables")
+	}
+	c, err := e.Run(Config{Quick: true, Seed: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.Text() == c.Table.Text() {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestConfigReps(t *testing.T) {
+	if (Config{}).reps(100, 5) != 100 {
+		t.Error("full reps wrong")
+	}
+	if (Config{Quick: true}).reps(100, 5) != 5 {
+		t.Error("quick reps wrong")
+	}
+	if (Config{Reps: 7, Quick: true}).reps(100, 5) != 7 {
+		t.Error("override reps wrong")
+	}
+}

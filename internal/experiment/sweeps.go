@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// schedulerSet is the standard algorithm lineup, in report order.
+func schedulerSet(includeOpt bool) []core.Scheduler {
+	s := []core.Scheduler{
+		core.NoncoopScheduler{},
+		core.CCSGAScheduler{},
+		core.CCSAScheduler{},
+	}
+	if includeOpt {
+		s = append(s, core.OptimalScheduler{})
+	}
+	return s
+}
+
+// sweepCosts runs every scheduler on reps seeded instances of p and
+// returns each scheduler's total-cost sample, keyed by scheduler name.
+// Seeds derive from (cfg.Seed, label, rep) so sweep points are
+// independent and reproducible.
+func sweepCosts(cfg Config, label string, p gen.Params, reps int, scheds []core.Scheduler) (map[string][]float64, error) {
+	out := make(map[string][]float64, len(scheds))
+	for rep := 0; rep < reps; rep++ {
+		seed := rng.DeriveSeed(cfg.Seed, label, fmt.Sprintf("rep-%d", rep))
+		in, err := gen.Instance(seed, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s rep %d: %w", label, rep, err)
+		}
+		cm, err := core.NewCostModel(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s rep %d: %w", label, rep, err)
+		}
+		for _, s := range scheds {
+			sched, err := s.Schedule(cm)
+			if err != nil {
+				return nil, fmt.Errorf("%s rep %d %s: %w", label, rep, s.Name(), err)
+			}
+			if err := sched.Validate(len(in.Devices), len(in.Chargers)); err != nil {
+				return nil, fmt.Errorf("%s rep %d %s: invalid schedule: %w", label, rep, s.Name(), err)
+			}
+			out[s.Name()] = append(out[s.Name()], cm.TotalCost(sched))
+		}
+	}
+	return out, nil
+}
+
+// meanCell formats a sample as "mean ± ci95".
+func meanCell(sample []float64) string {
+	s, err := stats.Summarize(sample)
+	if err != nil {
+		return "-"
+	}
+	return MeanCI(s.Mean, s.CI95)
+}
+
+// improvementNote formats "ALGO is X% lower than BASE (paper: Y%)".
+func improvementNote(algo, base string, algoCosts, baseCosts []float64, paper string) string {
+	r, err := stats.RatioOfMeans(algoCosts, baseCosts)
+	if err != nil {
+		return fmt.Sprintf("%s vs %s: n/a", algo, base)
+	}
+	return fmt.Sprintf("%s average cost is %s lower than %s (paper: %s)",
+		algo, Pct(1-r), base, paper)
+}

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// table1 reproduces the abstract's headline comparison: on the default
+// simulation workload (10 devices, 4 chargers), CCSA's average
+// comprehensive cost is ~27.3% below the noncooperation algorithm and
+// ~7.3% above the optimal solution.
+func table1() Experiment {
+	return Experiment{
+		ID:    "table1",
+		Title: "Headline comparison: average comprehensive cost, n=10 devices, m=4 chargers",
+		Run: func(cfg Config) (*Result, error) {
+			cfg = cfg.withDefaults()
+			reps := cfg.reps(100, 8)
+
+			costs, err := sweepCosts(cfg, "table1", defaultParams(10, 4), reps, schedulerSet(true))
+			if err != nil {
+				return nil, err
+			}
+
+			tbl := &Table{
+				Title:   fmt.Sprintf("Table 1 — average comprehensive cost ($), %d instances", reps),
+				Columns: []string{"algorithm", "mean cost ± CI95", "vs NONCOOP", "vs OPT"},
+			}
+			nonMean := stats.Mean(costs["NONCOOP"])
+			optMean := stats.Mean(costs["OPT"])
+			var bars []plot.Bar
+			for _, name := range []string{"NONCOOP", "CCSGA", "CCSA", "OPT"} {
+				sample := costs[name]
+				m := stats.Mean(sample)
+				tbl.AddRow(name, meanCell(sample),
+					fmt.Sprintf("%.3f×", m/nonMean),
+					fmt.Sprintf("%.3f×", m/optMean))
+				bars = append(bars, plot.Bar{Label: name, Value: m})
+			}
+			chart := plot.BarChart("mean comprehensive cost ($)", bars, 48)
+
+			rNon, err := stats.RatioOfMeans(costs["CCSA"], costs["NONCOOP"])
+			if err != nil {
+				return nil, err
+			}
+			rOpt, err := stats.RatioOfMeans(costs["CCSA"], costs["OPT"])
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				ID:    "table1",
+				Table: tbl,
+				Chart: chart,
+				Notes: []string{
+					fmt.Sprintf("CCSA average cost is %s lower than NONCOOP (paper: 27.3%%)", Pct(1-rNon)),
+					fmt.Sprintf("CCSA average cost is %s higher than OPT (paper: 7.3%%)", Pct(rOpt-1)),
+				},
+			}, nil
+		},
+	}
+}

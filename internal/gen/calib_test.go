@@ -1,0 +1,44 @@
+package gen
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestCalibration prints the headline ratios for the current Default()
+// parameters. Run with CCS_CALIBRATE=1; skipped otherwise.
+func TestCalibration(t *testing.T) {
+	if os.Getenv("CCS_CALIBRATE") == "" {
+		t.Skip("set CCS_CALIBRATE=1 to run")
+	}
+	p := Default()
+	var non, ccsa, opt []float64
+	for rep := 0; rep < 100; rep++ {
+		in, err := Instance(int64(1000+rep), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err := core.NewCostModel(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		non = append(non, cm.TotalCost(core.Noncooperative(cm)))
+		res, err := core.CCSA(cm, core.CCSAOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ccsa = append(ccsa, cm.TotalCost(res.Schedule))
+		o, err := core.Optimal(cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt = append(opt, cm.TotalCost(o))
+	}
+	rNon, _ := stats.RatioOfMeans(ccsa, non)
+	rOpt, _ := stats.RatioOfMeans(ccsa, opt)
+	t.Logf("CCSA/NONCOOP = %.4f (target ~0.727), CCSA/OPT = %.4f (target ~1.073)", rNon, rOpt)
+	t.Logf("means: noncoop=%.2f ccsa=%.2f opt=%.2f", stats.Mean(non), stats.Mean(ccsa), stats.Mean(opt))
+}

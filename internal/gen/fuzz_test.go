@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"testing"
+)
+
+// FuzzDecodeInstance ensures arbitrary input never panics the decoder:
+// it must either return a valid instance or an error.
+func FuzzDecodeInstance(f *testing.F) {
+	valid, err := Instance(1, Default())
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := EncodeInstance(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"fieldSide":10,"devices":[],"chargers":[]}`))
+	f.Add([]byte(`{"fieldSide":-1,"devices":[{"demandJ":-5}]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		in, err := DecodeInstance(raw)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be a valid instance.
+		if vErr := in.Validate(); vErr != nil {
+			t.Fatalf("DecodeInstance returned invalid instance: %v", vErr)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip checks that every generated instance survives
+// the JSON round trip.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(int64(1), 3, 2)
+	f.Add(int64(99), 10, 4)
+	f.Fuzz(func(t *testing.T, seed int64, n, m int) {
+		if n < 1 || n > 20 || m < 1 || m > 8 {
+			return
+		}
+		p := Default()
+		p.NumDevices, p.NumChargers = n, m
+		in, err := Instance(seed, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := EncodeInstance(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeInstance(data)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Devices) != n || len(back.Chargers) != m {
+			t.Fatal("round trip changed sizes")
+		}
+	})
+}

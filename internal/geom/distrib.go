@@ -1,0 +1,94 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformPoints draws n points uniformly at random inside r.
+func UniformPoints(r *rand.Rand, field Rect, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: field.MinX + r.Float64()*field.Width(),
+			Y: field.MinY + r.Float64()*field.Height(),
+		}
+	}
+	return pts
+}
+
+// GridPoints places n points on a near-square grid covering field, the
+// classic deterministic layout for charger service points.
+func GridPoints(field Rect, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		row, col := i/cols, i%cols
+		pts = append(pts, Point{
+			X: field.MinX + (float64(col)+0.5)*field.Width()/float64(cols),
+			Y: field.MinY + (float64(row)+0.5)*field.Height()/float64(rows),
+		})
+	}
+	return pts
+}
+
+// ClusterSpec configures ClusteredPoints.
+type ClusterSpec struct {
+	// Clusters is the number of Gaussian hotspots. Centers are drawn
+	// uniformly in the field.
+	Clusters int
+	// Sigma is the standard deviation of each hotspot, in meters.
+	Sigma float64
+}
+
+// ClusteredPoints draws n points from a mixture of Gaussian hotspots,
+// clamped to the field. It models sensor deployments concentrated around
+// points of interest. With Clusters <= 0 it falls back to UniformPoints.
+func ClusteredPoints(r *rand.Rand, field Rect, n int, spec ClusterSpec) []Point {
+	if spec.Clusters <= 0 {
+		return UniformPoints(r, field, n)
+	}
+	centers := UniformPoints(r, field, spec.Clusters)
+	pts := make([]Point, n)
+	for i := range pts {
+		c := centers[r.Intn(len(centers))]
+		pts[i] = field.Clamp(Point{
+			X: c.X + r.NormFloat64()*spec.Sigma,
+			Y: c.Y + r.NormFloat64()*spec.Sigma,
+		})
+	}
+	return pts
+}
+
+// PerimeterPoints places n points evenly along the field perimeter,
+// modelling chargers stationed at the service roads around a deployment.
+func PerimeterPoints(field Rect, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	perim := 2 * (field.Width() + field.Height())
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		d := perim * float64(i) / float64(n)
+		pts = append(pts, pointAtPerimeter(field, d))
+	}
+	return pts
+}
+
+func pointAtPerimeter(field Rect, d float64) Point {
+	w, h := field.Width(), field.Height()
+	switch {
+	case d < w:
+		return Point{X: field.MinX + d, Y: field.MinY}
+	case d < w+h:
+		return Point{X: field.MaxX, Y: field.MinY + (d - w)}
+	case d < 2*w+h:
+		return Point{X: field.MaxX - (d - w - h), Y: field.MaxY}
+	default:
+		return Point{X: field.MinX, Y: field.MaxY - (d - 2*w - h)}
+	}
+}

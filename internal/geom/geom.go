@@ -1,0 +1,155 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// cooperative-charging simulator: points, rectangles, distance helpers and
+// spatial point distributions.
+//
+// All coordinates are in meters. The package is allocation-light: Point and
+// Rect are small value types suited to tight scheduling loops.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on the 2-D field, in meters.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns the vector sum p+q.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{X: p.X * k, Y: p.Y * k} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparisons on hot paths.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp returns the point a fraction t of the way from p to q. t outside
+// [0,1] extrapolates.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{X: p.X + (q.X-p.X)*t, Y: p.Y + (q.Y-p.Y)*t}
+}
+
+// MoveToward returns the point reached by traveling at most step meters
+// from p toward q, stopping at q if it is closer than step.
+func (p Point) MoveToward(q Point, step float64) Point {
+	d := p.Dist(q)
+	if d <= step || d == 0 {
+		return q
+	}
+	return p.Lerp(q, step/d)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle [MinX,MaxX]×[MinY,MaxY].
+type Rect struct {
+	MinX float64
+	MinY float64
+	MaxX float64
+	MaxY float64
+}
+
+// Square returns the square [0,side]×[0,side].
+func Square(side float64) Rect { return Rect{MaxX: side, MaxY: side} }
+
+// Width returns the rectangle's extent along X.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the rectangle's extent along Y.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies inside r (boundary inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Clamp returns p moved to the nearest point inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.MinX), r.MaxX),
+		Y: math.Min(math.Max(p.Y, r.MinY), r.MaxY),
+	}
+}
+
+// Diagonal returns the length of the rectangle's diagonal, an upper bound
+// on any intra-field distance.
+func (r Rect) Diagonal() float64 { return math.Hypot(r.Width(), r.Height()) }
+
+// Nearest returns the index of the point in candidates closest to p, and
+// the distance to it. It returns (-1, +Inf) when candidates is empty.
+func Nearest(p Point, candidates []Point) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	for i, c := range candidates {
+		if d2 := p.Dist2(c); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	if best < 0 {
+		return -1, math.Inf(1)
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// Centroid returns the arithmetic mean of pts. It returns the origin for an
+// empty slice.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		return Point{}
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := float64(len(pts))
+	return Point{X: sx / n, Y: sy / n}
+}
+
+// TotalDist returns the sum of distances from p to every point in pts.
+func TotalDist(p Point, pts []Point) float64 {
+	var sum float64
+	for _, q := range pts {
+		sum += p.Dist(q)
+	}
+	return sum
+}
+
+// PathLength returns the length of the polyline through pts in order.
+func PathLength(pts []Point) float64 {
+	var sum float64
+	for i := 1; i < len(pts); i++ {
+		sum += pts[i-1].Dist(pts[i])
+	}
+	return sum
+}

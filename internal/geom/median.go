@@ -1,0 +1,93 @@
+package geom
+
+import "errors"
+
+// GeometricMedian finds the weighted geometric median of pts — the point
+// minimizing Σ w_i·dist(x, p_i) — by Weiszfeld iteration with the
+// standard singularity guard (when the iterate lands on an input point,
+// it is nudged along the subgradient). weights may be nil for the
+// unweighted median. It converges to within tol (meters).
+func GeometricMedian(pts []Point, weights []float64, tol float64) (Point, error) {
+	if len(pts) == 0 {
+		return Point{}, errors.New("geom: median of no points")
+	}
+	if weights != nil && len(weights) != len(pts) {
+		return Point{}, errors.New("geom: weights length mismatch")
+	}
+	w := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if len(pts) == 1 {
+		return pts[0], nil
+	}
+
+	// Start from the weighted centroid.
+	var x Point
+	var wSum float64
+	for i, p := range pts {
+		x = x.Add(p.Scale(w(i)))
+		wSum += w(i)
+	}
+	if wSum <= 0 {
+		return Point{}, errors.New("geom: nonpositive total weight")
+	}
+	x = x.Scale(1 / wSum)
+
+	const maxIter = 1000
+	for iter := 0; iter < maxIter; iter++ {
+		var (
+			num    Point
+			den    float64
+			atePts bool
+		)
+		for i, p := range pts {
+			d := x.Dist(p)
+			if d < 1e-12 {
+				atePts = true
+				continue
+			}
+			num = num.Add(p.Scale(w(i) / d))
+			den += w(i) / d
+		}
+		var next Point
+		switch {
+		case den == 0:
+			return x, nil // all points coincide with x
+		case atePts:
+			// Modified Weiszfeld (Vardi–Zhang): stay if the pull of the
+			// other points is weaker than the coinciding point's weight.
+			next = num.Scale(1 / den)
+			if next.Dist(x) < tol {
+				return x, nil
+			}
+			// Blend to escape the singularity stably.
+			next = x.Lerp(next, 0.5)
+		default:
+			next = num.Scale(1 / den)
+		}
+		if next.Dist(x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, nil
+}
+
+// WeightedTotalDist returns Σ w_i·dist(x, p_i); weights may be nil.
+func WeightedTotalDist(x Point, pts []Point, weights []float64) float64 {
+	var sum float64
+	for i, p := range pts {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		sum += w * x.Dist(p)
+	}
+	return sum
+}

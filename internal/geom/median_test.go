@@ -1,0 +1,95 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGeometricMedianKnownCases(t *testing.T) {
+	// Median of two points is anywhere on the segment; cost must equal
+	// the distance between them.
+	m, err := GeometricMedian([]Point{Pt(0, 0), Pt(10, 0)}, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WeightedTotalDist(m, []Point{Pt(0, 0), Pt(10, 0)}, nil); math.Abs(got-10) > 1e-6 {
+		t.Errorf("two-point median cost = %v, want 10", got)
+	}
+	// Equilateral triangle: the median is the centroid (= Fermat point
+	// here by symmetry).
+	tri := []Point{Pt(0, 0), Pt(2, 0), Pt(1, math.Sqrt(3))}
+	m, err = GeometricMedian(tri, nil, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Centroid(tri)
+	if m.Dist(c) > 1e-6 {
+		t.Errorf("triangle median %v, want centroid %v", m, c)
+	}
+	// Single point.
+	m, err = GeometricMedian([]Point{Pt(3, 4)}, nil, 0)
+	if err != nil || m != Pt(3, 4) {
+		t.Errorf("single-point median = %v, %v", m, err)
+	}
+}
+
+func TestGeometricMedianDominantWeight(t *testing.T) {
+	// A point with overwhelming weight pulls the median onto itself.
+	pts := []Point{Pt(0, 0), Pt(10, 0), Pt(5, 8)}
+	m, err := GeometricMedian(pts, []float64{100, 1, 1}, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(Pt(0, 0)) > 0.01 {
+		t.Errorf("median %v should sit at the heavy point", m)
+	}
+}
+
+func TestGeometricMedianBeatsOtherCandidates(t *testing.T) {
+	// Optimality spot check: the returned point's cost is no worse than
+	// every input point's and the centroid's.
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(8)
+		pts := make([]Point, n)
+		wts := make([]float64, n)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+			wts[i] = 0.1 + r.Float64()
+		}
+		m, err := GeometricMedian(pts, wts, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := WeightedTotalDist(m, pts, wts)
+		for _, cand := range append([]Point{Centroid(pts)}, pts...) {
+			if c := WeightedTotalDist(cand, pts, wts); cost > c+1e-6 {
+				t.Fatalf("trial %d: median cost %v beaten by candidate %v (%v)", trial, cost, cand, c)
+			}
+		}
+	}
+}
+
+func TestGeometricMedianCoincidentPoints(t *testing.T) {
+	pts := []Point{Pt(5, 5), Pt(5, 5), Pt(5, 5)}
+	m, err := GeometricMedian(pts, nil, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(Pt(5, 5)) > 1e-9 {
+		t.Errorf("median of identical points = %v", m)
+	}
+}
+
+func TestGeometricMedianValidation(t *testing.T) {
+	if _, err := GeometricMedian(nil, nil, 0); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := GeometricMedian([]Point{Pt(0, 0)}, []float64{1, 2}, 0); err == nil {
+		t.Error("weight mismatch should error")
+	}
+	if _, err := GeometricMedian([]Point{Pt(0, 0), Pt(1, 1)}, []float64{0, 0}, 0); err == nil {
+		t.Error("zero total weight should error")
+	}
+}

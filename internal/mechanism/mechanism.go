@@ -1,0 +1,148 @@
+// Package mechanism implements procurement (reverse) auctions for
+// charging service: a coalition of devices solicits bids from the
+// chargers for one charging session and picks the winner that minimizes
+// its comprehensive cost (bid + members' travel). The second-price
+// (Vickrey) rule makes truthful bidding a dominant strategy, which the
+// tests verify empirically — the mechanism-design side of "charging as a
+// service".
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Bid is one charger's asking price for serving the coalition's session.
+type Bid struct {
+	// Charger indexes the instance's chargers.
+	Charger int
+	// Price is the asked session price, $ (the charger's fee + energy
+	// revenue if bidding truthfully).
+	Price float64
+}
+
+// Outcome is the auction result.
+type Outcome struct {
+	// Winner is the winning charger index.
+	Winner int
+	// Payment is what the coalition pays the winner, $.
+	Payment float64
+	// BuyerCost is the coalition's comprehensive cost: payment plus
+	// members' travel to the winner, $.
+	BuyerCost float64
+}
+
+// TrueCost returns charger j's true cost of serving the members' session:
+// its fee plus the tariff of the purchased energy — what a truthful
+// bidder asks.
+func TrueCost(cm *core.CostModel, members []int, j int) float64 {
+	return cm.ChargingCost(members, j)
+}
+
+// TruthfulBids returns every charger's truthful bid for the session.
+func TruthfulBids(cm *core.CostModel, members []int) []Bid {
+	bids := make([]Bid, cm.NumChargers())
+	for j := range bids {
+		bids[j] = Bid{Charger: j, Price: TrueCost(cm, members, j)}
+	}
+	return bids
+}
+
+// moveCost is the members' total travel cost to charger j.
+func moveCost(cm *core.CostModel, members []int, j int) float64 {
+	var sum float64
+	for _, i := range members {
+		sum += cm.MovingCost(i, j)
+	}
+	return sum
+}
+
+// score ranks bids by the coalition's total cost if that bid wins.
+func score(cm *core.CostModel, members []int, b Bid) float64 {
+	return b.Price + moveCost(cm, members, b.Charger)
+}
+
+func validate(cm *core.CostModel, members []int, bids []Bid) error {
+	if len(members) == 0 {
+		return errors.New("mechanism: empty coalition")
+	}
+	if len(bids) == 0 {
+		return errors.New("mechanism: no bids")
+	}
+	seen := make(map[int]bool, len(bids))
+	for _, b := range bids {
+		if b.Charger < 0 || b.Charger >= cm.NumChargers() {
+			return fmt.Errorf("mechanism: bid references charger %d of %d", b.Charger, cm.NumChargers())
+		}
+		if seen[b.Charger] {
+			return fmt.Errorf("mechanism: duplicate bid from charger %d", b.Charger)
+		}
+		seen[b.Charger] = true
+		if b.Price < 0 || math.IsNaN(b.Price) {
+			return fmt.Errorf("mechanism: charger %d bid %v invalid", b.Charger, b.Price)
+		}
+	}
+	return nil
+}
+
+// FirstPrice runs a first-price reverse auction: the bid minimizing the
+// coalition's total cost wins and is paid its own price. Simple, but not
+// truthful — bidders shade above cost.
+func FirstPrice(cm *core.CostModel, members []int, bids []Bid) (Outcome, error) {
+	if err := validate(cm, members, bids); err != nil {
+		return Outcome{}, err
+	}
+	best := -1
+	bestScore := math.Inf(1)
+	for k, b := range bids {
+		if s := score(cm, members, b); s < bestScore {
+			best, bestScore = k, s
+		}
+	}
+	w := bids[best]
+	return Outcome{
+		Winner:    w.Charger,
+		Payment:   w.Price,
+		BuyerCost: bestScore,
+	}, nil
+}
+
+// SecondPrice runs a Vickrey reverse auction: the best-total-cost bid
+// wins, but the winner is paid the highest price it could have asked and
+// still won — the runner-up's total cost minus the winner's travel
+// component. Truthful bidding (ask exactly your cost) is a dominant
+// strategy, and the winner's payment is never below its bid (individual
+// rationality). With a single bidder the payment equals the bid.
+func SecondPrice(cm *core.CostModel, members []int, bids []Bid) (Outcome, error) {
+	if err := validate(cm, members, bids); err != nil {
+		return Outcome{}, err
+	}
+	best, second := -1, -1
+	bestScore, secondScore := math.Inf(1), math.Inf(1)
+	for k, b := range bids {
+		s := score(cm, members, b)
+		switch {
+		case s < bestScore:
+			second, secondScore = best, bestScore
+			best, bestScore = k, s
+		case s < secondScore:
+			second, secondScore = k, s
+		}
+	}
+	w := bids[best]
+	payment := w.Price
+	if second >= 0 {
+		payment = secondScore - moveCost(cm, members, w.Charger)
+		if payment < w.Price {
+			payment = w.Price // numerical guard; cannot occur exactly
+		}
+	}
+	return Outcome{
+		Winner:    w.Charger,
+		Payment:   payment,
+		BuyerCost: payment + moveCost(cm, members, w.Charger),
+	}, nil
+}

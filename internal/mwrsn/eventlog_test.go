@@ -1,0 +1,64 @@
+package mwrsn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+)
+
+func TestRunEmitsStructuredEvents(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(core.CCSAScheduler{})
+	cfg.Log = eventlog.New(&buf)
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := eventlog.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := eventlog.Filter(events, eventlog.KindRound)
+	if len(rounds) != m.Rounds {
+		t.Errorf("round events %d, metrics rounds %d", len(rounds), m.Rounds)
+	}
+	// The event log's total round cost must equal the metric.
+	if got := eventlog.TotalCost(events, eventlog.KindRound); math.Abs(got-m.MonetaryCost) > 1e-9 {
+		t.Errorf("logged cost %v != metric %v", got, m.MonetaryCost)
+	}
+	charges := eventlog.Filter(events, eventlog.KindCharge)
+	var logged float64
+	for _, e := range charges {
+		logged += e.EnergyJ
+		if e.Node == "" || e.Charger == "" {
+			t.Error("charge event missing node/charger")
+		}
+	}
+	if math.Abs(logged-m.EnergyDelivered) > 1e-9 {
+		t.Errorf("logged energy %v != metric %v", logged, m.EnergyDelivered)
+	}
+	deaths := eventlog.Filter(events, eventlog.KindDeath)
+	if len(deaths) != m.Deaths {
+		t.Errorf("death events %d, metric %d", len(deaths), m.Deaths)
+	}
+}
+
+func TestRunWithoutLogIsUnchanged(t *testing.T) {
+	base, err := Run(testConfig(core.CCSAScheduler{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := testConfig(core.CCSAScheduler{})
+	cfg.Log = eventlog.New(&buf)
+	logged, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MonetaryCost != logged.MonetaryCost || base.Rounds != logged.Rounds {
+		t.Error("logging changed the simulation outcome")
+	}
+}

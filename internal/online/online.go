@@ -1,0 +1,274 @@
+// Package online studies cooperative charging when devices arrive over
+// time instead of all at once: a batching policy decides when to trigger
+// a cooperative scheduling round over the devices currently waiting,
+// trading waiting time against coalition size (bigger batches buy deeper
+// volume discounts). Deadlines are honored by forcing a round whenever a
+// waiting device's deadline approaches.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// Arrival is one device's service request.
+type Arrival struct {
+	// Device carries position, demand and moving-cost rate.
+	Device core.Device
+	// At is the request time, seconds.
+	At float64
+	// Deadline is the latest acceptable service time, seconds (> At).
+	Deadline float64
+}
+
+// BatchPolicy decides when to run a cooperative round.
+type BatchPolicy interface {
+	// Name labels the policy in tables.
+	Name() string
+	// Trigger reports whether a round should run now. lastRound is the
+	// time of the previous round (-Inf before the first).
+	Trigger(now, lastRound float64, waiting []Arrival) bool
+}
+
+// Immediate serves every arrival the moment it appears — the online
+// noncooperative baseline (batches of one, unless arrivals coincide).
+type Immediate struct{}
+
+// Name implements BatchPolicy.
+func (Immediate) Name() string { return "immediate" }
+
+// Trigger implements BatchPolicy.
+func (Immediate) Trigger(now, lastRound float64, waiting []Arrival) bool {
+	return len(waiting) > 0
+}
+
+// Periodic runs a round every Interval seconds (when anyone is waiting).
+type Periodic struct {
+	Interval float64
+}
+
+// Name implements BatchPolicy.
+func (p Periodic) Name() string { return fmt.Sprintf("periodic(%.0fs)", p.Interval) }
+
+// Trigger implements BatchPolicy.
+func (p Periodic) Trigger(now, lastRound float64, waiting []Arrival) bool {
+	return len(waiting) > 0 && now-lastRound >= p.Interval
+}
+
+// Threshold runs a round once K devices are waiting.
+type Threshold struct {
+	K int
+}
+
+// Name implements BatchPolicy.
+func (t Threshold) Name() string { return fmt.Sprintf("threshold(%d)", t.K) }
+
+// Trigger implements BatchPolicy.
+func (t Threshold) Trigger(now, lastRound float64, waiting []Arrival) bool {
+	return len(waiting) >= t.K
+}
+
+// Config configures an online run.
+type Config struct {
+	// Chargers are the available service providers.
+	Chargers []core.Charger
+	// Arrivals is the request sequence (any order; sorted internally).
+	Arrivals []Arrival
+	// Policy batches the arrivals.
+	Policy BatchPolicy
+	// Scheduler solves each round.
+	Scheduler core.Scheduler
+	// DeadlineGuard forces a round when a waiting deadline is within
+	// this many seconds; zero means 1.
+	DeadlineGuard float64
+	// Field is carried into round instances (informational).
+	Field geom.Rect
+}
+
+// Metrics summarizes an online run.
+type Metrics struct {
+	// TotalCost is the summed comprehensive cost of all rounds, $.
+	TotalCost float64
+	// Rounds is the number of scheduling rounds run.
+	Rounds int
+	// Served is the number of devices served.
+	Served int
+	// MeanWait and MaxWait are service-time minus arrival-time stats,
+	// seconds.
+	MeanWait float64
+	MaxWait  float64
+	// DeadlineMisses counts devices served after their deadline (zero
+	// under any correct policy/guard combination).
+	DeadlineMisses int
+}
+
+// Run plays the arrival sequence against the policy and returns metrics.
+func Run(cfg Config) (*Metrics, error) {
+	switch {
+	case len(cfg.Chargers) == 0:
+		return nil, errors.New("online: no chargers")
+	case len(cfg.Arrivals) == 0:
+		return nil, errors.New("online: no arrivals")
+	case cfg.Policy == nil:
+		return nil, errors.New("online: nil policy")
+	case cfg.Scheduler == nil:
+		return nil, errors.New("online: nil scheduler")
+	}
+	guard := cfg.DeadlineGuard
+	if guard <= 0 {
+		guard = 1
+	}
+	arrivals := append([]Arrival(nil), cfg.Arrivals...)
+	sort.SliceStable(arrivals, func(a, b int) bool { return arrivals[a].At < arrivals[b].At })
+	for i, a := range arrivals {
+		if a.Deadline <= a.At {
+			return nil, fmt.Errorf("online: arrival %d deadline %v not after arrival %v", i, a.Deadline, a.At)
+		}
+	}
+
+	m := &Metrics{}
+	var (
+		waiting   []Arrival
+		waitSum   float64
+		lastRound = math.Inf(-1)
+	)
+	runRound := func(now float64) error {
+		if len(waiting) == 0 {
+			return nil
+		}
+		in := &core.Instance{Field: cfg.Field, Chargers: cfg.Chargers}
+		for _, a := range waiting {
+			in.Devices = append(in.Devices, a.Device)
+		}
+		cm, err := core.NewCostModel(in)
+		if err != nil {
+			return fmt.Errorf("online: round at %v: %w", now, err)
+		}
+		sched, err := cfg.Scheduler.Schedule(cm)
+		if err != nil {
+			return fmt.Errorf("online: round at %v: %w", now, err)
+		}
+		m.TotalCost += cm.TotalCost(sched)
+		m.Rounds++
+		for _, a := range waiting {
+			wait := now - a.At
+			waitSum += wait
+			if wait > m.MaxWait {
+				m.MaxWait = wait
+			}
+			if now > a.Deadline {
+				m.DeadlineMisses++
+			}
+			m.Served++
+		}
+		waiting = waiting[:0]
+		lastRound = now
+		return nil
+	}
+
+	// Event-driven sweep over decision points: every arrival instant and
+	// every forced-deadline instant.
+	idx := 0
+	for idx < len(arrivals) || len(waiting) > 0 {
+		// Next decision time: the earlier of the next arrival and the
+		// earliest forced deadline among waiting devices.
+		next := math.Inf(1)
+		if idx < len(arrivals) {
+			next = arrivals[idx].At
+		}
+		forced := math.Inf(1)
+		for _, a := range waiting {
+			if d := a.Deadline - guard; d < forced {
+				forced = d
+			}
+		}
+		now := math.Min(next, forced)
+		if math.IsInf(now, 1) {
+			break
+		}
+		// Admit all arrivals at this instant.
+		for idx < len(arrivals) && arrivals[idx].At <= now {
+			waiting = append(waiting, arrivals[idx])
+			idx++
+		}
+		mustServe := now >= forced-1e-9
+		if mustServe || cfg.Policy.Trigger(now, lastRound, waiting) {
+			if err := runRound(now); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Anything still waiting is flushed at its forced deadline — the loop
+	// above guarantees that can't happen, but belt and braces:
+	if len(waiting) > 0 {
+		if err := runRound(arrivals[len(arrivals)-1].Deadline); err != nil {
+			return nil, err
+		}
+	}
+	if m.Served > 0 {
+		m.MeanWait = waitSum / float64(m.Served)
+	}
+	return m, nil
+}
+
+// OfflineClairvoyant returns the cost of the single-batch schedule over
+// every arrival — the clairvoyant reference the online policies are
+// compared against (it ignores deadlines and waiting entirely, so it
+// lower-bounds any batching policy that uses the same scheduler).
+func OfflineClairvoyant(cfg Config) (float64, error) {
+	if len(cfg.Arrivals) == 0 || len(cfg.Chargers) == 0 || cfg.Scheduler == nil {
+		return 0, errors.New("online: incomplete config")
+	}
+	in := &core.Instance{Field: cfg.Field, Chargers: cfg.Chargers}
+	for _, a := range cfg.Arrivals {
+		in.Devices = append(in.Devices, a.Device)
+	}
+	cm, err := core.NewCostModel(in)
+	if err != nil {
+		return 0, err
+	}
+	sched, err := cfg.Scheduler.Schedule(cm)
+	if err != nil {
+		return 0, err
+	}
+	return cm.TotalCost(sched), nil
+}
+
+// GenerateArrivals draws n arrivals: exponential interarrival times with
+// the given mean (seconds), device properties from the generator
+// parameter ranges, and patience windows uniform in [patienceMin,
+// patienceMax].
+func GenerateArrivals(seed int64, n int, meanInterarrival, patienceMin, patienceMax float64,
+	field geom.Rect, demandMin, demandMax, moveRateMin, moveRateMax float64) ([]Arrival, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("online: n %d < 1", n)
+	}
+	if meanInterarrival <= 0 || patienceMin <= 0 || patienceMax < patienceMin {
+		return nil, fmt.Errorf("online: bad timing parameters")
+	}
+	r := rng.Derive(seed, "online-arrivals")
+	out := make([]Arrival, 0, n)
+	now := 0.0
+	for i := 0; i < n; i++ {
+		now += r.ExpFloat64() * meanInterarrival
+		pos := geom.UniformPoints(r, field, 1)[0]
+		a := Arrival{
+			Device: core.Device{
+				ID:       fmt.Sprintf("req-%03d", i),
+				Pos:      pos,
+				Demand:   rng.Uniform(r, demandMin, demandMax),
+				MoveRate: rng.Uniform(r, moveRateMin, moveRateMax),
+			},
+			At: now,
+		}
+		a.Deadline = now + rng.Uniform(r, patienceMin, patienceMax)
+		out = append(out, a)
+	}
+	return out, nil
+}

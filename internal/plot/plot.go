@@ -1,0 +1,120 @@
+// Package plot renders experiment series as terminal charts: horizontal
+// bar charts for per-category comparisons and multi-series line sketches
+// for sweeps. The experiment harness uses it to give every reproduced
+// figure an actual figure.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+// Values must be nonnegative; the longest bar spans the full width.
+func BarChart(title string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(bars) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, bar := range bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > labelW {
+			labelW = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxVal > 0 && bar.Value > 0 {
+			n = int(math.Round(bar.Value / maxVal * float64(width)))
+			if n == 0 {
+				n = 1 // visible sliver for small nonzero values
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s %.2f\n", labelW, bar.Label, strings.Repeat("█", n), bar.Value)
+	}
+	return b.String()
+}
+
+// Series is one named line of a sweep chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line sparkline scaled to [min, max]
+// of the data.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// SweepChart renders several series over shared x labels: each series
+// gets a sparkline plus its first and last values — a compact stand-in
+// for the paper's line figures.
+func SweepChart(title string, xLabel string, xs []string, series []Series) (string, error) {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return "", fmt.Errorf("plot: empty sweep")
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Values) != len(xs) {
+			return "", fmt.Errorf("plot: series %q has %d values for %d x points",
+				s.Name, len(s.Values), len(xs))
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%s: %s → %s\n", xLabel, xs[0], xs[len(xs)-1])
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-*s %s  %.2f → %.2f\n",
+			nameW, s.Name, Sparkline(s.Values), s.Values[0], s.Values[len(s.Values)-1])
+	}
+	return b.String(), nil
+}

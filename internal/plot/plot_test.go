@@ -1,0 +1,95 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("costs", []Bar{
+		{"NONCOOP", 100},
+		{"CCSA", 73},
+		{"zero", 0},
+	}, 20)
+	if !strings.Contains(out, "costs") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// The max bar has exactly width blocks; smaller bars fewer; zero none.
+	if got := strings.Count(lines[1], "█"); got != 20 {
+		t.Errorf("max bar = %d blocks, want 20", got)
+	}
+	if got := strings.Count(lines[2], "█"); got == 0 || got >= 20 {
+		t.Errorf("mid bar = %d blocks", got)
+	}
+	if got := strings.Count(lines[3], "█"); got != 0 {
+		t.Errorf("zero bar = %d blocks, want 0", got)
+	}
+}
+
+func TestBarChartEdgeCases(t *testing.T) {
+	if out := BarChart("", nil, 30); !strings.Contains(out, "no data") {
+		t.Error("empty chart should say so")
+	}
+	// Tiny width is clamped; all-zero values draw nothing but don't panic.
+	out := BarChart("t", []Bar{{"a", 0}, {"b", 0}}, 1)
+	if strings.Count(out, "█") != 0 {
+		t.Error("all-zero chart drew bars")
+	}
+	// A tiny nonzero value still gets a visible sliver.
+	out = BarChart("t", []Bar{{"big", 1000}, {"small", 0.001}}, 40)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "small") && !strings.Contains(line, "█") {
+			t.Error("small nonzero bar invisible")
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline runes = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline = %q, want min..max ramp", s)
+	}
+	// Constant series renders at the floor without dividing by zero.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat sparkline = %q", string(flat))
+		}
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	out, err := SweepChart("Fig 3", "n", []string{"10", "20", "30"}, []Series{
+		{Name: "NONCOOP", Values: []float64{450, 930, 1350}},
+		{Name: "CCSA", Values: []float64{330, 650, 900}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig 3", "n: 10 → 30", "NONCOOP", "CCSA", "450.00 → 1350.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepChartValidation(t *testing.T) {
+	if _, err := SweepChart("t", "x", nil, nil); err == nil {
+		t.Error("empty sweep should error")
+	}
+	_, err := SweepChart("t", "x", []string{"1", "2"}, []Series{{Name: "a", Values: []float64{1}}})
+	if err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,49 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTieredPrice checks the invariants of any constructible tiered
+// tariff on any energy: Price(0)=0, nonnegative, nondecreasing and
+// subadditive.
+func FuzzTieredPrice(f *testing.F) {
+	f.Add(100.0, 2.0, 1.0, 50.0, 75.0)
+	f.Add(10.0, 0.5, 0.25, 5.0, 500.0)
+	f.Fuzz(func(t *testing.T, bound, r1, r2, e1, e2 float64) {
+		if !(bound > 0) || !(r1 > 0) || !(r2 > 0) || bound > 1e12 || r1 > 1e6 || r2 > 1e6 {
+			return
+		}
+		if r2 > r1 {
+			r1, r2 = r2, r1 // concavity needs nonincreasing rates
+		}
+		tr, err := NewTiered([]Tier{
+			{UpTo: bound, Rate: r1},
+			{UpTo: math.Inf(1), Rate: r2},
+		})
+		if err != nil {
+			return
+		}
+		clamp := func(e float64) float64 {
+			if math.IsNaN(e) || e < 0 {
+				return 0
+			}
+			return math.Min(e, 1e12)
+		}
+		a, b := clamp(e1), clamp(e2)
+		pa, pb, pab := tr.Price(a), tr.Price(b), tr.Price(a+b)
+		if tr.Price(0) != 0 {
+			t.Fatal("Price(0) != 0")
+		}
+		if pa < 0 || pb < 0 {
+			t.Fatal("negative price")
+		}
+		if a <= b && pa > pb+1e-9*(1+pb) {
+			t.Fatalf("decreasing: P(%v)=%v > P(%v)=%v", a, pa, b, pb)
+		}
+		if pab > pa+pb+1e-9*(1+pa+pb) {
+			t.Fatalf("superadditive: P(%v+%v)=%v > %v", a, b, pab, pa+pb)
+		}
+	})
+}

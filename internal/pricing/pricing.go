@@ -1,0 +1,206 @@
+// Package pricing implements the energy tariffs charged by wireless
+// charging service providers.
+//
+// A tariff maps the total energy purchased in one charging session to a
+// price. Tariffs must be nondecreasing and concave (volume discounts):
+// concavity is what makes a coalition's session cost submodular in its
+// member set, the property the CCSA algorithm exploits, and what makes
+// proportional cost shares cross-monotonic, the property that keeps
+// coalitions stable.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tariff prices the total energy (joules) purchased in one session.
+//
+// Implementations must be nondecreasing and concave on [0, ∞) with
+// Price(0) == 0; Validate can be used to spot-check both properties.
+type Tariff interface {
+	// Price returns the cost ($) of purchasing energy joules in one
+	// session. Price(0) must be 0 and Price must be nondecreasing and
+	// concave.
+	Price(energy float64) float64
+	// Name returns a short human-readable description for tables.
+	Name() string
+}
+
+// Linear is the flat tariff price = Rate × energy ($/J). It is the
+// degenerate concave tariff: with it, cooperation saves only the
+// per-session fee, not energy cost.
+type Linear struct {
+	Rate float64 // $/J
+}
+
+var _ Tariff = Linear{}
+
+// Price implements Tariff.
+func (l Linear) Price(energy float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	return l.Rate * energy
+}
+
+// Name implements Tariff.
+func (l Linear) Name() string { return fmt.Sprintf("linear(%.4g$/J)", l.Rate) }
+
+// PowerLaw is the tariff price = Coeff × energy^Exponent with
+// Exponent ∈ (0, 1], a smooth volume discount.
+type PowerLaw struct {
+	Coeff    float64 // $ at 1 J
+	Exponent float64 // in (0, 1]
+}
+
+var _ Tariff = PowerLaw{}
+
+// Price implements Tariff.
+func (p PowerLaw) Price(energy float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	return p.Coeff * math.Pow(energy, p.Exponent)
+}
+
+// Name implements Tariff.
+func (p PowerLaw) Name() string {
+	return fmt.Sprintf("powerlaw(%.4g·E^%.2f)", p.Coeff, p.Exponent)
+}
+
+// Tier is one segment of a Tiered tariff: energy above UpTo of the previous
+// tier (or 0) and up to UpTo of this tier is billed at Rate $/J.
+type Tier struct {
+	UpTo float64 // upper energy bound of this tier; +Inf for the last
+	Rate float64 // $/J within the tier
+}
+
+// Tiered is a piecewise-linear tariff with decreasing marginal rates —
+// the familiar "first 100 J at full price, next 400 J discounted" bulk
+// plan. Construct it with NewTiered, which validates concavity.
+type Tiered struct {
+	tiers []Tier
+}
+
+var _ Tariff = (*Tiered)(nil)
+
+// NewTiered builds a Tiered tariff. Tiers must have strictly increasing
+// UpTo bounds, strictly positive rates in nonincreasing order (concavity),
+// and the last tier must be unbounded (UpTo = +Inf).
+func NewTiered(tiers []Tier) (*Tiered, error) {
+	if len(tiers) == 0 {
+		return nil, errors.New("pricing: no tiers")
+	}
+	for i, tr := range tiers {
+		if tr.Rate <= 0 {
+			return nil, fmt.Errorf("pricing: tier %d rate %v <= 0", i, tr.Rate)
+		}
+		if i > 0 {
+			if tr.UpTo <= tiers[i-1].UpTo {
+				return nil, fmt.Errorf("pricing: tier %d bound %v not increasing", i, tr.UpTo)
+			}
+			if tr.Rate > tiers[i-1].Rate {
+				return nil, fmt.Errorf("pricing: tier %d rate %v increases (not concave)", i, tr.Rate)
+			}
+		}
+	}
+	if last := tiers[len(tiers)-1]; !math.IsInf(last.UpTo, 1) {
+		return nil, errors.New("pricing: last tier must be unbounded (UpTo=+Inf)")
+	}
+	cp := make([]Tier, len(tiers))
+	copy(cp, tiers)
+	return &Tiered{tiers: cp}, nil
+}
+
+// MustTiered is NewTiered that panics on invalid input; for package-level
+// defaults and tests.
+func MustTiered(tiers []Tier) *Tiered {
+	t, err := NewTiered(tiers)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Price implements Tariff.
+func (t *Tiered) Price(energy float64) float64 {
+	if energy <= 0 {
+		return 0
+	}
+	var (
+		cost float64
+		prev float64
+	)
+	for _, tr := range t.tiers {
+		hi := math.Min(energy, tr.UpTo)
+		if hi > prev {
+			cost += (hi - prev) * tr.Rate
+		}
+		if energy <= tr.UpTo {
+			break
+		}
+		prev = tr.UpTo
+	}
+	return cost
+}
+
+// Name implements Tariff.
+func (t *Tiered) Name() string { return fmt.Sprintf("tiered(%d tiers)", len(t.tiers)) }
+
+// Tiers returns a copy of the tier table.
+func (t *Tiered) Tiers() []Tier {
+	cp := make([]Tier, len(t.tiers))
+	copy(cp, t.tiers)
+	return cp
+}
+
+// Validate spot-checks that tariff is zero at zero, nondecreasing and
+// concave on a grid of sample energies up to maxEnergy. It returns nil if
+// all checks pass. It is used by tests and by instance validation to catch
+// hand-rolled tariffs that would silently break CCSA's guarantees.
+func Validate(tariff Tariff, maxEnergy float64, samples int) error {
+	if samples < 3 {
+		return errors.New("pricing: need at least 3 samples")
+	}
+	if z := tariff.Price(0); z != 0 {
+		return fmt.Errorf("pricing: Price(0) = %v, want 0", z)
+	}
+	grid := make([]float64, samples)
+	for i := range grid {
+		grid[i] = maxEnergy * float64(i+1) / float64(samples)
+	}
+	sort.Float64s(grid)
+	const eps = 1e-9
+	prev := 0.0
+	for i, e := range grid {
+		p := tariff.Price(e)
+		if p < prev-eps {
+			return fmt.Errorf("pricing: %s decreasing at E=%v", tariff.Name(), e)
+		}
+		prev = p
+		if i >= 2 {
+			// Midpoint concavity on consecutive triples:
+			// f((a+c)/2) >= (f(a)+f(c))/2 must hold, and grid points are
+			// evenly spaced so grid[i-1] is the midpoint of grid[i-2],grid[i].
+			a, b, c := grid[i-2], grid[i-1], grid[i]
+			fa, fb, fc := tariff.Price(a), tariff.Price(b), tariff.Price(c)
+			_ = b
+			if fb < (fa+fc)/2-eps*(1+math.Abs(fb)) {
+				return fmt.Errorf("pricing: %s not concave near E=%v", tariff.Name(), b)
+			}
+		}
+	}
+	return nil
+}
+
+// MarginalRate returns the approximate marginal price around energy,
+// (Price(e+h)-Price(e))/h, useful for reporting effective $/J at scale.
+func MarginalRate(tariff Tariff, energy, h float64) float64 {
+	if h <= 0 {
+		h = 1e-6
+	}
+	return (tariff.Price(energy+h) - tariff.Price(energy)) / h
+}

@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, "fig3", "rep-0")
+	b := Derive(42, "fig3", "rep-0")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical labels must give identical streams")
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	tests := []struct {
+		name   string
+		l1, l2 []string
+	}{
+		{"different rep", []string{"fig3", "rep-0"}, []string{"fig3", "rep-1"}},
+		{"different experiment", []string{"fig3"}, []string{"fig4"}},
+		{"label boundary", []string{"ab", "c"}, []string{"a", "bc"}},
+		{"prefix", []string{"a"}, []string{"a", ""}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if DeriveSeed(1, tt.l1...) == DeriveSeed(1, tt.l2...) {
+				t.Errorf("seeds collide for %v vs %v", tt.l1, tt.l2)
+			}
+		})
+	}
+}
+
+func TestDeriveSeedDependsOnBase(t *testing.T) {
+	if DeriveSeed(1, "x") == DeriveSeed(2, "x") {
+		t.Error("different base seeds must give different derived seeds")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := Uniform(r, -3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := Normal(r, 10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestClampedNormal(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 2000; i++ {
+		v := ClampedNormal(r, 0, 100, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("ClampedNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(5)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	Shuffle(r, xs)
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		seen[x] = true
+	}
+	for want := 1; want <= 8; want++ {
+		if !seen[want] {
+			t.Fatalf("Shuffle lost element %d: %v", want, xs)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(9)
+	p := Perm(r, 10)
+	if len(p) != 10 {
+		t.Fatalf("len = %d", len(p))
+	}
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,160 @@
+// Package sim is a minimal deterministic discrete-event simulation engine:
+// a virtual clock and a priority queue of scheduled callbacks. The
+// network-lifetime simulator (package mwrsn) builds on it.
+//
+// The engine is single-goroutine and deterministic: events at equal times
+// fire in scheduling order.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// EventID identifies a scheduled event for cancellation.
+type EventID int64
+
+type event struct {
+	time     float64
+	seq      int64 // tie-break: FIFO among equal times
+	id       EventID
+	fn       func()
+	canceled bool
+	index    int // heap index
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation core. The zero value is not usable; call New.
+type Engine struct {
+	now     float64
+	seq     int64
+	nextID  EventID
+	pending eventHeap
+	byID    map[EventID]*event
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{byID: make(map[EventID]*event)}
+}
+
+// Now returns the current virtual time, seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of scheduled (uncanceled) events.
+func (e *Engine) Pending() int { return len(e.byID) }
+
+// Schedule runs fn after delay seconds of virtual time. A negative or NaN
+// delay is an error.
+func (e *Engine) Schedule(delay float64, fn func()) (EventID, error) {
+	if delay < 0 || math.IsNaN(delay) {
+		return 0, fmt.Errorf("sim: invalid delay %v", delay)
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t (>= Now).
+func (e *Engine) ScheduleAt(t float64, fn func()) (EventID, error) {
+	if fn == nil {
+		return 0, errors.New("sim: nil event function")
+	}
+	if t < e.now || math.IsNaN(t) {
+		return 0, fmt.Errorf("sim: time %v before now %v", t, e.now)
+	}
+	e.nextID++
+	e.seq++
+	ev := &event{time: t, seq: e.seq, id: e.nextID, fn: fn}
+	heap.Push(&e.pending, ev)
+	e.byID[ev.id] = ev
+	return ev.id, nil
+}
+
+// Cancel removes a scheduled event. It reports whether the event was
+// still pending.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	ev.canceled = true
+	delete(e.byID, id)
+	return true
+}
+
+// Step fires the next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for e.pending.Len() > 0 {
+		ev := heap.Pop(&e.pending).(*event)
+		if ev.canceled {
+			continue
+		}
+		delete(e.byID, ev.id)
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass `until` or no
+// events remain, then advances the clock to `until` (if beyond it).
+// It returns the number of events fired.
+func (e *Engine) RunUntil(until float64) int {
+	fired := 0
+	for e.pending.Len() > 0 {
+		// Peek.
+		next := e.pending[0]
+		if next.canceled {
+			heap.Pop(&e.pending)
+			continue
+		}
+		if next.time > until {
+			break
+		}
+		if e.Step() {
+			fired++
+		}
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return fired
+}
+
+// Run fires all remaining events and returns how many fired.
+func (e *Engine) Run() int {
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	return fired
+}

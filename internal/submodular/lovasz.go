@@ -1,0 +1,57 @@
+package submodular
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lovasz evaluates the Lovász extension f̂(x) of f at a point
+// x ∈ [0,1]^n (any real vector is accepted; the extension is positively
+// homogeneous piecewise-linear): sort coordinates descending and charge
+// each marginal gain by its threshold weight. The Lovász extension is
+// convex iff f is submodular, and min_S f(S) = min_{x∈[0,1]^n} f̂(x),
+// which is what makes continuous methods (like the minimum-norm point)
+// solve SFM.
+func Lovasz(f Function, x []float64) (float64, error) {
+	n := f.N()
+	if len(x) != n {
+		return 0, fmt.Errorf("submodular: point has %d coords, ground set %d", len(x), n)
+	}
+	base := f.Eval(EmptySet)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] > x[order[b]] })
+
+	// f̂(x) = Σ_k x_{σ(k)} · [f(S_k) − f(S_{k−1})], S_k = top-k set.
+	var (
+		val    = base
+		prefix Set
+		prev   = base
+	)
+	for _, e := range order {
+		prefix = prefix.Add(e)
+		cur := f.Eval(prefix)
+		val += x[e] * (cur - prev)
+		prev = cur
+	}
+	return val - base, nil
+}
+
+// LovaszGradient returns a subgradient of the Lovász extension at x: the
+// base-polytope vertex induced by the descending order of x. For
+// submodular f it satisfies f̂(y) ≥ f̂(x) + <g, y−x>.
+func LovaszGradient(f Function, x []float64) ([]float64, error) {
+	n := f.N()
+	if len(x) != n {
+		return nil, fmt.Errorf("submodular: point has %d coords, ground set %d", len(x), n)
+	}
+	g := normalize(f)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] > x[order[b]] })
+	return extremePoint(g, order), nil
+}

@@ -1,0 +1,113 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLovaszAgreesOnVertices(t *testing.T) {
+	// On indicator vectors the extension equals the (normalized) set
+	// function.
+	r := rand.New(rand.NewSource(11))
+	f := randSubmodular(r, 6)
+	for mask := Set(0); mask < 1<<6; mask++ {
+		x := make([]float64, 6)
+		for _, e := range mask.Elems() {
+			x[e] = 1
+		}
+		got, err := Lovasz(f, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := f.Eval(mask) - f.Eval(EmptySet)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Lovasz(%v indicator) = %v, want %v", mask, got, want)
+		}
+	}
+}
+
+func TestLovaszConvexityOnSubmodular(t *testing.T) {
+	// Midpoint convexity at random pairs: f̂((x+y)/2) ≤ (f̂(x)+f̂(y))/2.
+	r := rand.New(rand.NewSource(12))
+	f := randSubmodular(r, 7)
+	for trial := 0; trial < 200; trial++ {
+		x := make([]float64, 7)
+		y := make([]float64, 7)
+		mid := make([]float64, 7)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+			mid[i] = (x[i] + y[i]) / 2
+		}
+		fx, err := Lovasz(f, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fy, err := Lovasz(f, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm, err := Lovasz(f, mid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm > (fx+fy)/2+1e-9 {
+			t.Fatalf("trial %d: convexity violated: f(mid)=%v > %v", trial, fm, (fx+fy)/2)
+		}
+	}
+}
+
+func TestLovaszGradientIsSubgradient(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	f := randSubmodular(r, 6)
+	for trial := 0; trial < 100; trial++ {
+		x := make([]float64, 6)
+		y := make([]float64, 6)
+		for i := range x {
+			x[i] = r.Float64()
+			y[i] = r.Float64()
+		}
+		g, err := LovaszGradient(f, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx, err := Lovasz(f, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fy, err := Lovasz(f, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dot float64
+		for i := range g {
+			dot += g[i] * (y[i] - x[i])
+		}
+		if fy < fx+dot-1e-9 {
+			t.Fatalf("trial %d: subgradient inequality violated: %v < %v", trial, fy, fx+dot)
+		}
+	}
+}
+
+func TestLovaszDimensionMismatch(t *testing.T) {
+	f := FuncOf(3, func(Set) float64 { return 0 })
+	if _, err := Lovasz(f, []float64{1, 2}); err == nil {
+		t.Error("short point should error")
+	}
+	if _, err := LovaszGradient(f, []float64{1, 2, 3, 4}); err == nil {
+		t.Error("long point should error")
+	}
+}
+
+func TestLovaszHandlesOffset(t *testing.T) {
+	// f(∅) ≠ 0: the extension is of the normalized function.
+	f := FuncOf(2, func(s Set) float64 { return 10 + float64(s.Card()) })
+	got, err := Lovasz(f, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("Lovasz = %v, want 2", got)
+	}
+}

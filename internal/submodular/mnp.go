@@ -1,0 +1,302 @@
+package submodular
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// Options tunes the minimum-norm-point solver.
+type Options struct {
+	// Tol is the numerical tolerance on the Wolfe duality gap and on
+	// weight pruning. Zero means DefaultTol.
+	Tol float64
+	// MaxIter caps major cycles. Zero means DefaultMaxIter.
+	MaxIter int
+}
+
+// Solver defaults.
+const (
+	DefaultTol     = 1e-9
+	DefaultMaxIter = 1000
+)
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = DefaultTol
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	return o
+}
+
+// Minimize finds a minimizer of the submodular function f using the
+// Fujishige–Wolfe minimum-norm-point algorithm. It returns the minimizing
+// set and f's (unnormalized) value on it. The empty set is a valid answer.
+//
+// f must be submodular; on non-submodular input the result is undefined
+// (but still a valid subset with its true value).
+func Minimize(f Function, opts Options) (Set, float64, error) {
+	o := opts.withDefaults()
+	n := f.N()
+	if n < 0 || n > 64 {
+		return 0, 0, fmt.Errorf("submodular: ground set size %d outside [0,64]", n)
+	}
+	if n == 0 {
+		return EmptySet, f.Eval(EmptySet), nil
+	}
+
+	g := normalize(f) // g(∅) = 0
+	x, err := minNormPoint(g, n, o)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	best, bestVal := recoverMinimizer(g, x)
+	return best, bestVal + f.Eval(EmptySet), nil
+}
+
+// normalize wraps f so that the empty set evaluates to 0.
+func normalize(f Function) func(Set) float64 {
+	base := f.Eval(EmptySet)
+	return func(s Set) float64 { return f.Eval(s) - base }
+}
+
+// extremePoint returns the base-polytope vertex of g induced by the given
+// element ordering (Edmonds' greedy algorithm).
+func extremePoint(g func(Set) float64, order []int) []float64 {
+	q := make([]float64, len(order))
+	var (
+		prefix Set
+		prev   float64
+	)
+	for _, e := range order {
+		prefix = prefix.Add(e)
+		cur := g(prefix)
+		q[e] = cur - prev
+		prev = cur
+	}
+	return q
+}
+
+// minVertex returns the base-polytope vertex minimizing <x, q>, obtained by
+// ordering elements by ascending x.
+func minVertex(g func(Set) float64, x []float64) []float64 {
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] < x[order[b]] })
+	return extremePoint(g, order)
+}
+
+// minNormPoint runs Wolfe's algorithm and returns the (approximate)
+// minimum-norm point of the base polytope of g.
+func minNormPoint(g func(Set) float64, n int, o Options) ([]float64, error) {
+	identity := make([]int, n)
+	for i := range identity {
+		identity[i] = i
+	}
+	first := extremePoint(g, identity)
+
+	pts := [][]float64{first} // active extreme points
+	wts := []float64{1}       // convex weights, sum to 1
+	x := append([]float64(nil), first...)
+
+	scale := 1.0
+	for _, v := range first {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	gapTol := o.Tol * scale * float64(n)
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		q := minVertex(g, x)
+		// Wolfe termination: <x,x> <= <x,q> + tol.
+		if linalg.Norm2(x) <= linalg.Dot(x, q)+gapTol {
+			return x, nil
+		}
+		if containsPoint(pts, q, o.Tol*scale) {
+			// Numerical stall: q already active but gap not closed.
+			return x, nil
+		}
+		pts = append(pts, q)
+		wts = append(wts, 0)
+
+		// Minor cycles: move to the affine minimizer, dropping points
+		// until it is a convex combination.
+		for {
+			y, lam, err := affineMinimizer(pts)
+			if err != nil {
+				// Degenerate active set: drop the zero-weight newest point
+				// if possible, else give up with the current x.
+				if len(pts) > 1 {
+					pts = pts[:len(pts)-1]
+					wts = wts[:len(wts)-1]
+					continue
+				}
+				return x, nil
+			}
+			neg := -1
+			for i, l := range lam {
+				if l < o.Tol {
+					neg = i
+					break
+				}
+			}
+			if neg < 0 {
+				x, wts = y, lam
+				break
+			}
+			// Line search from wts toward lam: largest theta in [0,1]
+			// keeping all weights nonnegative.
+			theta := 1.0
+			for i := range lam {
+				if lam[i] < wts[i] {
+					if t := wts[i] / (wts[i] - lam[i]); t < theta {
+						theta = t
+					}
+				}
+			}
+			kept := pts[:0]
+			keptW := wts[:0]
+			for i := range pts {
+				w := (1-theta)*wts[i] + theta*lam[i]
+				if w > o.Tol {
+					kept = append(kept, pts[i])
+					keptW = append(keptW, w)
+				}
+			}
+			if len(kept) == 0 {
+				// Shouldn't happen; keep the best single point.
+				kept = append(kept, pts[0])
+				keptW = append(keptW, 1)
+			}
+			pts, wts = kept, keptW
+			renormalize(wts)
+			x = combination(pts, wts)
+		}
+	}
+	return x, nil // iteration cap: return best-effort point
+}
+
+// affineMinimizer finds the minimum-norm point of the affine hull of pts,
+// returning the point and its affine coefficients. It solves the KKT
+// system [G 1; 1ᵀ 0]·[λ; μ] = [0; 1] where G is the Gram matrix, adding a
+// small ridge on failure.
+func affineMinimizer(pts [][]float64) ([]float64, []float64, error) {
+	k := len(pts)
+	if k == 1 {
+		return append([]float64(nil), pts[0]...), []float64{1}, nil
+	}
+	a := make([][]float64, k+1)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+	}
+	for i := 0; i < k; i++ {
+		for j := i; j < k; j++ {
+			d := linalg.Dot(pts[i], pts[j])
+			a[i][j], a[j][i] = d, d
+		}
+		a[i][k], a[k][i] = 1, 1
+	}
+	b := make([]float64, k+1)
+	b[k] = 1
+
+	var sol []float64
+	var err error
+	for _, ridge := range []float64{0, 1e-12, 1e-9, 1e-6} {
+		if ridge > 0 {
+			for i := 0; i < k; i++ {
+				a[i][i] += ridge
+			}
+		}
+		sol, err = linalg.Solve(a, b)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, nil, errors.New("submodular: degenerate affine system")
+	}
+	lam := sol[:k]
+	return combination(pts, lam), append([]float64(nil), lam...), nil
+}
+
+func combination(pts [][]float64, w []float64) []float64 {
+	x := make([]float64, len(pts[0]))
+	for i, p := range pts {
+		linalg.AXPY(w[i], p, x)
+	}
+	return x
+}
+
+func renormalize(w []float64) {
+	var s float64
+	for _, v := range w {
+		s += v
+	}
+	if s <= 0 {
+		return
+	}
+	linalg.Scale(1/s, w)
+}
+
+func containsPoint(pts [][]float64, q []float64, tol float64) bool {
+	for _, p := range pts {
+		same := true
+		for i := range p {
+			if math.Abs(p[i]-q[i]) > tol*(1+math.Abs(p[i])) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverMinimizer extracts the best candidate set from the minimum-norm
+// point x: by SFM duality the minimizers of g are level sets of x, so it
+// evaluates every prefix of the ascending order of x (plus the strict and
+// weak negative level sets) and returns the best.
+func recoverMinimizer(g func(Set) float64, x []float64) (Set, float64) {
+	n := len(x)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return x[order[a]] < x[order[b]] })
+
+	best, bestVal := EmptySet, 0.0
+	var prefix Set
+	for _, e := range order {
+		prefix = prefix.Add(e)
+		if v := g(prefix); v < bestVal {
+			best, bestVal = prefix, v
+		}
+	}
+	for _, cand := range []Set{negLevelSet(x, 0, false), negLevelSet(x, 0, true)} {
+		if cand != best {
+			if v := g(cand); v < bestVal {
+				best, bestVal = cand, v
+			}
+		}
+	}
+	return best, bestVal
+}
+
+func negLevelSet(x []float64, thresh float64, weak bool) Set {
+	var s Set
+	for i, v := range x {
+		if v < thresh || (weak && v <= thresh) {
+			s = s.Add(i)
+		}
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package submodular
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinimizeRatio finds a nonempty set minimizing f(S)/|S| via Dinkelbach
+// iteration: each step solves the SFM min_S f(S) − λ|S| (still submodular,
+// since λ|S| is modular) with the minimum-norm-point algorithm, and λ is
+// updated to the ratio of the minimizer found. The sequence of λ values is
+// strictly decreasing and finite, so the loop terminates at the optimal
+// ratio (up to solver tolerance).
+//
+// f must be submodular with f(∅) = 0 and f(S) ≥ 0; CCSA's per-charger
+// session-cost functions satisfy both.
+func MinimizeRatio(f Function, opts Options) (Set, float64, error) {
+	o := opts.withDefaults()
+	n := f.N()
+	if n < 1 || n > 64 {
+		return 0, 0, fmt.Errorf("submodular: ratio ground set size %d outside [1,64]", n)
+	}
+
+	// Start from the best singleton: a feasible ratio upper bound.
+	best, bestRatio := SetOf(0), f.Eval(SetOf(0))
+	for i := 1; i < n; i++ {
+		if v := f.Eval(SetOf(i)); v < bestRatio {
+			best, bestRatio = SetOf(i), v
+		}
+	}
+
+	scale := math.Max(math.Abs(bestRatio), 1)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		lambda := bestRatio
+		gl := FuncOf(n, func(s Set) float64 {
+			return f.Eval(s) - lambda*float64(s.Card())
+		})
+		s, v, err := Minimize(gl, o)
+		if err != nil {
+			return 0, 0, fmt.Errorf("dinkelbach step %d: %w", iter, err)
+		}
+		if s.Empty() || v >= -o.Tol*scale {
+			break // no nonempty set beats the current ratio
+		}
+		r := f.Eval(s) / float64(s.Card())
+		if r >= bestRatio-o.Tol*scale {
+			break // numerical stall
+		}
+		best, bestRatio = s, r
+	}
+
+	best, bestRatio = polishRatio(f, best, bestRatio)
+	return best, bestRatio, nil
+}
+
+// polishRatio greedily toggles single elements while doing so lowers the
+// ratio. It cleans up solver-tolerance artifacts; on exact solutions it is
+// a no-op.
+func polishRatio(f Function, s Set, ratio float64) (Set, float64) {
+	n := f.N()
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < n; i++ {
+			var cand Set
+			if s.Has(i) {
+				if s.Card() == 1 {
+					continue
+				}
+				cand = s.Remove(i)
+			} else {
+				cand = s.Add(i)
+			}
+			if r := f.Eval(cand) / float64(cand.Card()); r < ratio-1e-12 {
+				s, ratio = cand, r
+				improved = true
+			}
+		}
+	}
+	return s, ratio
+}

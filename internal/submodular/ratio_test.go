@@ -1,0 +1,148 @@
+package submodular
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSessionCost mimics a CCSA per-charger session cost: fixed fee +
+// concave tariff of total demand + per-member (moving) costs, 0 on ∅.
+func randSessionCost(r *rand.Rand, n int) Function {
+	move := make([]float64, n)
+	demand := make([]float64, n)
+	for i := range move {
+		move[i] = r.Float64() * 20
+		demand[i] = 1 + r.Float64()*10
+	}
+	fee := 5 + r.Float64()*40
+	coeff := 1 + r.Float64()*4
+	return FuncOf(n, func(s Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		var mv, dem float64
+		for _, e := range s.Elems() {
+			mv += move[e]
+			dem += demand[e]
+		}
+		return fee + coeff*math.Pow(dem, 0.7) + mv
+	})
+}
+
+func TestMinimizeRatioMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(10)
+		f := randSessionCost(r, n)
+		if err := Check(f, 1e-9); err != nil {
+			t.Fatalf("trial %d: fixture not submodular: %v", trial, err)
+		}
+		_, wantRatio := BruteForceMinRatio(f)
+		gotSet, gotRatio, err := MinimizeRatio(f, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if gotSet.Empty() {
+			t.Fatalf("trial %d: empty ratio minimizer", trial)
+		}
+		if math.Abs(gotRatio-f.Eval(gotSet)/float64(gotSet.Card())) > 1e-9 {
+			t.Fatalf("trial %d: reported ratio inconsistent with set", trial)
+		}
+		if gotRatio > wantRatio+1e-6*(1+math.Abs(wantRatio)) {
+			t.Fatalf("trial %d (n=%d): ratio %v on %v, brute force %v",
+				trial, n, gotRatio, gotSet, wantRatio)
+		}
+	}
+}
+
+func TestMinimizeRatioSingleton(t *testing.T) {
+	f := FuncOf(1, func(s Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		return 7
+	})
+	s, r, err := MinimizeRatio(f, Options{})
+	if err != nil || s != SetOf(0) || r != 7 {
+		t.Errorf("MinimizeRatio = %v, %v, %v", s, r, err)
+	}
+}
+
+func TestMinimizeRatioPrefersLargeGroupUnderFixedFee(t *testing.T) {
+	// Pure fixed fee: ratio strictly improves with coalition size, so the
+	// full set must win.
+	const n = 8
+	f := FuncOf(n, func(s Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		return 100
+	})
+	s, r, err := MinimizeRatio(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != FullSet(n) || math.Abs(r-100.0/n) > 1e-9 {
+		t.Errorf("MinimizeRatio = %v, %v; want full set, 12.5", s, r)
+	}
+}
+
+func TestMinimizeRatioPrefersSingletonUnderLinearCost(t *testing.T) {
+	// No fee, purely modular: every subset has the same per-member cost
+	// structure, and the cheapest singleton is optimal.
+	w := []float64{5, 2, 9}
+	f := FuncOf(3, func(s Set) float64 {
+		var v float64
+		for _, e := range s.Elems() {
+			v += w[e]
+		}
+		return v
+	})
+	s, r, err := MinimizeRatio(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 2+1e-9 {
+		t.Errorf("ratio = %v on %v, want 2 via {1}", r, s)
+	}
+}
+
+func TestMinimizeRatioValidation(t *testing.T) {
+	if _, _, err := MinimizeRatio(FuncOf(0, func(Set) float64 { return 0 }), Options{}); err == nil {
+		t.Error("n=0 should error")
+	}
+}
+
+func TestMinimizeRatioLargerGroundSet(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	f := randSessionCost(r, 30)
+	s, ratio, err := MinimizeRatio(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Empty() {
+		t.Fatal("empty minimizer")
+	}
+	// Must beat (or tie) every singleton and the full set.
+	for i := 0; i < 30; i++ {
+		if sv := f.Eval(SetOf(i)); ratio > sv+1e-9 {
+			t.Fatalf("ratio %v worse than singleton %d (%v)", ratio, i, sv)
+		}
+	}
+	fullRatio := f.Eval(FullSet(30)) / 30
+	if ratio > fullRatio+1e-9 {
+		t.Fatalf("ratio %v worse than full set %v", ratio, fullRatio)
+	}
+}
+
+func BenchmarkMinimizeRatioN20(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	f := randSessionCost(r, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MinimizeRatio(f, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package submodular implements submodular function minimization (SFM)
+// and ratio minimization over set functions on ground sets of up to 64
+// elements.
+//
+// The centerpiece is the Fujishige–Wolfe minimum-norm-point algorithm,
+// which CCSA uses (via Dinkelbach iteration) to find, for each charger,
+// the coalition of uncovered devices with minimum average comprehensive
+// cost. A brute-force minimizer and a submodularity checker back the
+// property tests.
+package submodular
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a subset of the ground set {0, …, n-1}, n ≤ 64, as a bitmask.
+type Set uint64
+
+// EmptySet is the empty subset.
+const EmptySet Set = 0
+
+// FullSet returns the set {0, …, n-1}.
+func FullSet(n int) Set {
+	if n <= 0 {
+		return 0
+	}
+	if n >= 64 {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// SetOf builds a Set from element indices.
+func SetOf(elems ...int) Set {
+	var s Set
+	for _, e := range elems {
+		s |= 1 << uint(e)
+	}
+	return s
+}
+
+// Has reports whether element e is in s.
+func (s Set) Has(e int) bool { return s&(1<<uint(e)) != 0 }
+
+// Add returns s ∪ {e}.
+func (s Set) Add(e int) Set { return s | 1<<uint(e) }
+
+// Remove returns s ∖ {e}.
+func (s Set) Remove(e int) Set { return s &^ (1 << uint(e)) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s ∖ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Card returns |s|.
+func (s Set) Card() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether s is the empty set.
+func (s Set) Empty() bool { return s == 0 }
+
+// Elems returns the elements of s in increasing order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Card())
+	for t := uint64(s); t != 0; {
+		e := bits.TrailingZeros64(t)
+		out = append(out, e)
+		t &= t - 1
+	}
+	return out
+}
+
+// String implements fmt.Stringer, e.g. "{0,3,5}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, e := range s.Elems() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", e)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Function is a set function on a ground set of N elements. Eval need not
+// be normalized: minimization routines subtract Eval(EmptySet) internally.
+type Function interface {
+	// N returns the ground-set size (must be ≤ 64).
+	N() int
+	// Eval returns f(s).
+	Eval(s Set) float64
+}
+
+// FuncOf adapts a closure to Function.
+func FuncOf(n int, eval func(Set) float64) Function {
+	return funcOf{n: n, eval: eval}
+}
+
+type funcOf struct {
+	n    int
+	eval func(Set) float64
+}
+
+func (f funcOf) N() int             { return f.n }
+func (f funcOf) Eval(s Set) float64 { return f.eval(s) }
+
+// Check verifies submodularity of f by the local exchange characterization:
+// for every set S and distinct i, j ∉ S,
+// f(S∪{i}) + f(S∪{j}) ≥ f(S∪{i,j}) + f(S) − tol.
+// It is exponential in f.N() and intended for tests (n ≤ ~14). It returns
+// nil when f is submodular and a descriptive error at the first violation.
+func Check(f Function, tol float64) error {
+	n := f.N()
+	if n > 20 {
+		return fmt.Errorf("submodular: Check ground set %d too large", n)
+	}
+	full := FullSet(n)
+	for s := Set(0); s <= full; s++ {
+		if !s.SubsetOf(full) {
+			continue
+		}
+		fs := f.Eval(s)
+		for i := 0; i < n; i++ {
+			if s.Has(i) {
+				continue
+			}
+			fsi := f.Eval(s.Add(i))
+			for j := i + 1; j < n; j++ {
+				if s.Has(j) {
+					continue
+				}
+				fsj := f.Eval(s.Add(j))
+				fsij := f.Eval(s.Add(i).Add(j))
+				if fsi+fsj < fsij+fs-tol {
+					return fmt.Errorf(
+						"submodular: violated at S=%v i=%d j=%d: %.9g + %.9g < %.9g + %.9g",
+						s, i, j, fsi, fsj, fsij, fs)
+				}
+			}
+		}
+		if s == full {
+			break
+		}
+	}
+	return nil
+}
+
+// BruteForceMin minimizes f over all subsets by enumeration. It returns
+// the minimizing set (ties broken toward smaller masks) and its value.
+// Exponential; for tests and tiny instances only.
+func BruteForceMin(f Function) (Set, float64) {
+	n := f.N()
+	best, bestVal := EmptySet, f.Eval(EmptySet)
+	full := uint64(FullSet(n))
+	for m := uint64(1); m <= full; m++ {
+		if v := f.Eval(Set(m)); v < bestVal {
+			best, bestVal = Set(m), v
+		}
+		if m == full {
+			break
+		}
+	}
+	return best, bestVal
+}
+
+// BruteForceMinRatio minimizes f(S)/|S| over nonempty subsets by
+// enumeration. Exponential; for tests and tiny instances only.
+func BruteForceMinRatio(f Function) (Set, float64) {
+	n := f.N()
+	var (
+		best    Set
+		bestVal = f.Eval(SetOf(0)) // placeholder, overwritten below
+		first   = true
+	)
+	full := uint64(FullSet(n))
+	for m := uint64(1); m <= full; m++ {
+		s := Set(m)
+		v := f.Eval(s) / float64(s.Card())
+		if first || v < bestVal {
+			best, bestVal, first = s, v, false
+		}
+		if m == full {
+			break
+		}
+	}
+	return best, bestVal
+}

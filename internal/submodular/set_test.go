@@ -1,0 +1,160 @@
+package submodular
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(0, 3, 5)
+	if !s.Has(0) || !s.Has(3) || !s.Has(5) || s.Has(1) {
+		t.Errorf("Has wrong for %v", s)
+	}
+	if s.Card() != 3 {
+		t.Errorf("Card = %d", s.Card())
+	}
+	if got := s.Add(1).Card(); got != 4 {
+		t.Errorf("Add Card = %d", got)
+	}
+	if got := s.Remove(3); got != SetOf(0, 5) {
+		t.Errorf("Remove = %v", got)
+	}
+	if got := s.Remove(4); got != s {
+		t.Errorf("Remove absent = %v", got)
+	}
+	if s.String() != "{0,3,5}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if EmptySet.String() != "{}" {
+		t.Errorf("empty String = %q", EmptySet.String())
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := SetOf(0, 1, 2), SetOf(2, 3)
+	if a.Union(b) != SetOf(0, 1, 2, 3) {
+		t.Error("Union wrong")
+	}
+	if a.Intersect(b) != SetOf(2) {
+		t.Error("Intersect wrong")
+	}
+	if a.Minus(b) != SetOf(0, 1) {
+		t.Error("Minus wrong")
+	}
+	if !SetOf(1).SubsetOf(a) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !EmptySet.SubsetOf(a) || !EmptySet.Empty() || a.Empty() {
+		t.Error("Empty handling wrong")
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	tests := []struct {
+		n    int
+		want Set
+	}{
+		{0, 0}, {-1, 0}, {1, 1}, {3, 7}, {64, ^Set(0)},
+	}
+	for _, tt := range tests {
+		if got := FullSet(tt.n); got != tt.want {
+			t.Errorf("FullSet(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestElems(t *testing.T) {
+	s := SetOf(7, 2, 63)
+	got := s.Elems()
+	want := []int{2, 7, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+	if len(EmptySet.Elems()) != 0 {
+		t.Error("empty Elems should be empty")
+	}
+}
+
+func TestSetRoundTripProperty(t *testing.T) {
+	prop := func(raw uint64) bool {
+		s := Set(raw)
+		rebuilt := SetOf(s.Elems()...)
+		return rebuilt == s && s.Card() == len(s.Elems())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckAcceptsSubmodular(t *testing.T) {
+	// Concave of cardinality plus modular part.
+	w := []float64{1, -2, 0.5, -0.3, 2}
+	f := FuncOf(5, func(s Set) float64 {
+		v := 3 * math.Sqrt(float64(s.Card()))
+		for _, e := range s.Elems() {
+			v += w[e]
+		}
+		return v
+	})
+	if err := Check(f, 1e-9); err != nil {
+		t.Errorf("Check = %v, want nil", err)
+	}
+}
+
+func TestCheckRejectsSupermodular(t *testing.T) {
+	f := FuncOf(4, func(s Set) float64 {
+		c := float64(s.Card())
+		return c * c
+	})
+	if err := Check(f, 1e-9); err == nil {
+		t.Error("Check accepted a supermodular function")
+	}
+}
+
+func TestCheckRejectsLargeGroundSet(t *testing.T) {
+	f := FuncOf(30, func(s Set) float64 { return 0 })
+	if err := Check(f, 0); err == nil {
+		t.Error("Check should refuse n > 20")
+	}
+}
+
+func TestBruteForceMin(t *testing.T) {
+	w := []float64{3, -1, -4, 2}
+	f := FuncOf(4, func(s Set) float64 {
+		var v float64
+		for _, e := range s.Elems() {
+			v += w[e]
+		}
+		return v
+	})
+	s, v := BruteForceMin(f)
+	if s != SetOf(1, 2) || v != -5 {
+		t.Errorf("BruteForceMin = %v, %v; want {1,2}, -5", s, v)
+	}
+}
+
+func TestBruteForceMinRatio(t *testing.T) {
+	// f(S) = 10 + Σ w_i for nonempty S: a fixed fee amortized over members.
+	w := []float64{1, 2, 30}
+	f := FuncOf(3, func(s Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		v := 10.0
+		for _, e := range s.Elems() {
+			v += w[e]
+		}
+		return v
+	})
+	s, r := BruteForceMinRatio(f)
+	// {0,1}: (10+3)/2 = 6.5 beats {0}: 11, {0,1,2}: 43/3.
+	if s != SetOf(0, 1) || math.Abs(r-6.5) > 1e-12 {
+		t.Errorf("BruteForceMinRatio = %v, %v; want {0,1}, 6.5", s, r)
+	}
+}

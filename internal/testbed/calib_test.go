@@ -1,0 +1,38 @@
+package testbed
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestFieldCalibration prints the field-experiment headline ratio for the
+// current default testbed parameters. Run with CCS_CALIBRATE=1.
+func TestFieldCalibration(t *testing.T) {
+	if os.Getenv("CCS_CALIBRATE") == "" {
+		t.Skip("set CCS_CALIBRATE=1 to run")
+	}
+	var non, ccsa, opt []float64
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, s := range []core.Scheduler{core.NoncoopScheduler{}, core.CCSAScheduler{}, core.OptimalScheduler{}} {
+			res, err := RunTrial(Trial{Scheduler: s, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch s.Name() {
+			case "NONCOOP":
+				non = append(non, res.MeasuredCost)
+			case "CCSA":
+				ccsa = append(ccsa, res.MeasuredCost)
+			case "OPT":
+				opt = append(opt, res.MeasuredCost)
+			}
+		}
+	}
+	r, _ := stats.RatioOfMeans(ccsa, non)
+	rOpt, _ := stats.RatioOfMeans(ccsa, opt)
+	t.Logf("field: CCSA/NONCOOP = %.4f (target ~0.571), CCSA/OPT = %.4f", r, rOpt)
+	t.Logf("means: noncoop=%.2f ccsa=%.2f opt=%.2f", stats.Mean(non), stats.Mean(ccsa), stats.Mean(opt))
+}

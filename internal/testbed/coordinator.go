@@ -1,0 +1,268 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pricing"
+)
+
+// Coordinator is the scheduling server of the emulated testbed. Agents
+// dial in and register; the coordinator then collects device status,
+// builds a CCS instance from the reported (noisy) values, runs a
+// scheduler, dispatches charge commands, and accounts the measured
+// comprehensive cost from agent reports and charger bills.
+type Coordinator struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	devices  map[string]*jsonConn
+	chargers map[string]*jsonConn
+	devOrder []string
+	chOrder  []string
+	chInfo   map[string]ChargerState
+	ready    chan struct{} // closed when expected registrations arrive
+	expected int
+	acceptWG sync.WaitGroup
+	closed   bool
+}
+
+// NewCoordinator listens on 127.0.0.1 (ephemeral port) and waits for
+// expectDevices + expectChargers registrations.
+func NewCoordinator(expectDevices, expectChargers int) (*Coordinator, error) {
+	return NewCoordinatorListen("127.0.0.1:0", expectDevices, expectChargers)
+}
+
+// NewCoordinatorListen is NewCoordinator on an explicit listen address,
+// for running the coordinator as a standalone daemon (cmd/ccsd).
+func NewCoordinatorListen(addr string, expectDevices, expectChargers int) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: listen: %w", err)
+	}
+	c := &Coordinator{
+		ln:       ln,
+		devices:  make(map[string]*jsonConn),
+		chargers: make(map[string]*jsonConn),
+		chInfo:   make(map[string]ChargerState),
+		ready:    make(chan struct{}),
+		expected: expectDevices + expectChargers,
+	}
+	c.acceptWG.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address for agents to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) acceptLoop() {
+	defer c.acceptWG.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		jc := newJSONConn(conn)
+		msg, err := jc.recv()
+		if err != nil || msg.Type != MsgRegister {
+			_ = jc.send(Message{Type: MsgError, Err: "expected register"})
+			_ = jc.close()
+			continue
+		}
+		if err := c.register(jc, msg); err != nil {
+			_ = jc.send(Message{Type: MsgError, Err: err.Error()})
+			_ = jc.close()
+			continue
+		}
+		_ = jc.send(Message{Type: MsgRegistered, ID: msg.ID})
+	}
+}
+
+func (c *Coordinator) register(jc *jsonConn, msg Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch msg.Role {
+	case "device":
+		if _, dup := c.devices[msg.ID]; dup {
+			return fmt.Errorf("duplicate device %q", msg.ID)
+		}
+		c.devices[msg.ID] = jc
+		c.devOrder = append(c.devOrder, msg.ID)
+	case "charger":
+		if _, dup := c.chargers[msg.ID]; dup {
+			return fmt.Errorf("duplicate charger %q", msg.ID)
+		}
+		c.chargers[msg.ID] = jc
+		c.chOrder = append(c.chOrder, msg.ID)
+		c.chInfo[msg.ID] = ChargerState{
+			ID:             msg.ID,
+			Pos:            geom.Pt(msg.PosX, msg.PosY),
+			Fee:            msg.Fee,
+			TariffCoeff:    msg.TariffCoeff,
+			TariffExponent: msg.TariffExponent,
+			Efficiency:     msg.Efficiency,
+		}
+	default:
+		return fmt.Errorf("unknown role %q", msg.Role)
+	}
+	if len(c.devices)+len(c.chargers) == c.expected && !c.closed {
+		close(c.ready)
+		c.closed = true
+	}
+	return nil
+}
+
+// WaitReady blocks until all expected agents registered or the timeout
+// elapses.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	select {
+	case <-c.ready:
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		got := len(c.devices) + len(c.chargers)
+		c.mu.Unlock()
+		return fmt.Errorf("testbed: only %d of %d agents registered after %v", got, c.expected, timeout)
+	}
+}
+
+// CollectInstance queries every device for its (noisy) status and builds
+// the CCS instance the scheduler will solve, using charger-advertised
+// parameters. Device and charger index order is registration order, which
+// the caller must keep for ExecuteSchedule.
+func (c *Coordinator) CollectInstance() (*core.Instance, error) {
+	c.mu.Lock()
+	devOrder := append([]string(nil), c.devOrder...)
+	chOrder := append([]string(nil), c.chOrder...)
+	c.mu.Unlock()
+	sort.Strings(devOrder)
+	sort.Strings(chOrder)
+
+	in := &core.Instance{}
+	for _, id := range devOrder {
+		c.mu.Lock()
+		jc := c.devices[id]
+		c.mu.Unlock()
+		st, err := jc.call(Message{Type: MsgStatusReq})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: status %s: %w", id, err)
+		}
+		if st.Type != MsgStatus {
+			return nil, fmt.Errorf("testbed: device %s replied %q to status", id, st.Type)
+		}
+		in.Devices = append(in.Devices, core.Device{
+			ID:       id,
+			Pos:      geom.Pt(st.PosX, st.PosY),
+			Demand:   st.DemandJ,
+			MoveRate: st.MoveRate,
+		})
+	}
+	for _, id := range chOrder {
+		c.mu.Lock()
+		info := c.chInfo[id]
+		c.mu.Unlock()
+		in.Chargers = append(in.Chargers, core.Charger{
+			ID:  id,
+			Pos: info.Pos,
+			Fee: info.Fee,
+			Tariff: pricing.PowerLaw{
+				Coeff:    info.TariffCoeff,
+				Exponent: info.TariffExponent,
+			},
+			Efficiency: info.Efficiency,
+		})
+	}
+	if len(in.Devices) == 0 || len(in.Chargers) == 0 {
+		return nil, errors.New("testbed: no registered devices or chargers")
+	}
+	return in, nil
+}
+
+// ExecutionReport is the measured outcome of running a schedule on the
+// testbed.
+type ExecutionReport struct {
+	// MeasuredCost is the comprehensive cost accounted from agent
+	// measurements: charger bills plus odometer distance × move rate.
+	MeasuredCost float64
+	// MovingCost and ChargingCost break MeasuredCost down.
+	MovingCost   float64
+	ChargingCost float64
+	// Sessions is the number of billed sessions.
+	Sessions int
+	// EnergyStored is the total energy devices reported storing, joules.
+	EnergyStored float64
+}
+
+// ExecuteSchedule dispatches the schedule: every coalition member is
+// commanded to travel to its charger and charge; the charger bills the
+// session on the total measured purchased energy.
+func (c *Coordinator) ExecuteSchedule(in *core.Instance, sched *core.Schedule) (*ExecutionReport, error) {
+	rep := &ExecutionReport{}
+	for _, coal := range sched.Coalitions {
+		ch := in.Chargers[coal.Charger]
+		var purchased float64
+		for _, di := range coal.Members {
+			dev := in.Devices[di]
+			c.mu.Lock()
+			jc, ok := c.devices[dev.ID]
+			c.mu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("testbed: unknown device %q in schedule", dev.ID)
+			}
+			done, err := jc.call(Message{
+				Type:    MsgChargeCmd,
+				TargetX: ch.Pos.X,
+				TargetY: ch.Pos.Y,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("testbed: charge %s: %w", dev.ID, err)
+			}
+			if done.Type != MsgChargeDone {
+				return nil, fmt.Errorf("testbed: device %s replied %q to charge", dev.ID, done.Type)
+			}
+			rep.MovingCost += done.DistanceM * dev.MoveRate
+			rep.EnergyStored += done.StoredJ
+			purchased += done.StoredJ / ch.Efficiency
+		}
+		c.mu.Lock()
+		jc, ok := c.chargers[ch.ID]
+		c.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("testbed: unknown charger %q in schedule", ch.ID)
+		}
+		bill, err := jc.call(Message{Type: MsgBillReq, PurchasedJ: purchased})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: bill %s: %w", ch.ID, err)
+		}
+		if bill.Type != MsgBill {
+			return nil, fmt.Errorf("testbed: charger %s replied %q to bill", ch.ID, bill.Type)
+		}
+		rep.ChargingCost += bill.AmountUSD
+		rep.Sessions++
+	}
+	rep.MeasuredCost = rep.MovingCost + rep.ChargingCost
+	return rep, nil
+}
+
+// Close stops accepting, closes every agent connection and waits for the
+// accept loop.
+func (c *Coordinator) Close() error {
+	err := c.ln.Close()
+	c.mu.Lock()
+	for _, jc := range c.devices {
+		_ = jc.close()
+	}
+	for _, jc := range c.chargers {
+		_ = jc.close()
+	}
+	c.mu.Unlock()
+	c.acceptWG.Wait()
+	return err
+}

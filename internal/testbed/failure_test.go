@@ -1,0 +1,161 @@
+package testbed
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Failure-injection tests: the coordinator must fail cleanly — with a
+// descriptive error, not a hang or a panic — when agents misbehave.
+
+func TestCoordinatorSurvivesGarbageConnection(t *testing.T) {
+	coord, err := NewCoordinator(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	// A client that sends garbage instead of a registration.
+	c, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("NOT JSON\n")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	// The coordinator must still accept a well-behaved agent afterwards.
+	a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+		ID: "ok", Pos: geom.Pt(1, 1), DemandJ: 10, MoveRate: 0.1,
+	}, DefaultNoise(), 1)
+	if err != nil {
+		t.Fatalf("well-behaved agent rejected after garbage connection: %v", err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorReportsDeadAgentOnStatus(t *testing.T) {
+	coord, err := NewCoordinator(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+		ID: "flaky", Pos: geom.Pt(1, 1), DemandJ: 10, MoveRate: 0.1,
+	}, DefaultNoise(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The agent dies before the coordinator collects status.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.CollectInstance()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("CollectInstance succeeded with a dead agent")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("CollectInstance hung on a dead agent")
+	}
+}
+
+func TestCoordinatorRejectsUnknownRole(t *testing.T) {
+	coord, err := NewCoordinator(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	c, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	jc := newJSONConn(c)
+	if err := jc.send(Message{Type: MsgRegister, Role: "toaster", ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := jc.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != MsgError || !strings.Contains(resp.Err, "unknown role") {
+		t.Errorf("resp = %+v, want role error", resp)
+	}
+}
+
+func TestAgentRejectsUnknownRequest(t *testing.T) {
+	coord, err := NewCoordinator(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+	a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+		ID: "d", Pos: geom.Pt(0, 0), DemandJ: 5, MoveRate: 0.1,
+	}, DefaultNoise(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	coord.mu.Lock()
+	jc := coord.devices["d"]
+	coord.mu.Unlock()
+	if _, err := jc.call(Message{Type: MsgBillReq}); err == nil {
+		t.Error("device should reject a billing request")
+	}
+}
+
+func TestCloseIsIdempotentAndLeakFree(t *testing.T) {
+	coord, err := NewCoordinator(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agents []interface{ Close() error }
+	for i, id := range []string{"d1", "d2"} {
+		a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+			ID: id, Pos: geom.Pt(float64(i), 0), DemandJ: 5, MoveRate: 0.1,
+		}, DefaultNoise(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	ch, err := StartChargerAgent(coord.Addr(), ChargerState{
+		ID: "c", Pos: geom.Pt(5, 5), Fee: 1, TariffCoeff: 0.1, TariffExponent: 0.9, Efficiency: 0.8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents = append(agents, ch)
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Close everything, in an order that exercises both sides.
+	if err := coord.Close(); err != nil {
+		t.Errorf("coordinator Close: %v", err)
+	}
+	for _, a := range agents {
+		if err := a.Close(); err != nil {
+			t.Errorf("agent Close: %v", err)
+		}
+	}
+}

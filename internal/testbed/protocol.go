@@ -1,0 +1,123 @@
+// Package testbed emulates the paper's field experiment — 5 commodity
+// wireless chargers and 8 rechargeable sensor nodes — as a distributed
+// system: a coordinator and one agent process (goroutine) per node and per
+// charger, talking newline-delimited JSON over loopback TCP. Agents report
+// noisy measurements (residual energy, traveled distance), the coordinator
+// schedules on what it was told, and the measured comprehensive cost is
+// accounted from agent reports and charger bills — the same code path a
+// physical testbed exercises.
+package testbed
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MsgType enumerates the wire messages.
+type MsgType string
+
+// Wire message types.
+const (
+	MsgRegister   MsgType = "register"
+	MsgRegistered MsgType = "registered"
+	MsgStatusReq  MsgType = "status_req"
+	MsgStatus     MsgType = "status"
+	MsgChargeCmd  MsgType = "charge_cmd"
+	MsgChargeDone MsgType = "charge_done"
+	MsgBillReq    MsgType = "bill_req"
+	MsgBill       MsgType = "bill"
+	MsgError      MsgType = "error"
+)
+
+// Message is the single envelope exchanged on the wire. Fields are a
+// union; Type selects which are meaningful.
+type Message struct {
+	Type MsgType `json:"type"`
+
+	// Registration.
+	Role string `json:"role,omitempty"` // "device" | "charger"
+	ID   string `json:"id,omitempty"`
+
+	// Charger registration payload.
+	Fee            float64 `json:"fee,omitempty"`
+	TariffCoeff    float64 `json:"tariffCoeff,omitempty"`
+	TariffExponent float64 `json:"tariffExponent,omitempty"`
+	Efficiency     float64 `json:"efficiency,omitempty"`
+	PosX           float64 `json:"posX,omitempty"`
+	PosY           float64 `json:"posY,omitempty"`
+
+	// Device status payload (noisy).
+	DemandJ  float64 `json:"demandJ,omitempty"`
+	MoveRate float64 `json:"moveRate,omitempty"`
+
+	// Charge command/report payload.
+	TargetX   float64 `json:"targetX,omitempty"`
+	TargetY   float64 `json:"targetY,omitempty"`
+	DistanceM float64 `json:"distanceM,omitempty"`
+	StoredJ   float64 `json:"storedJ,omitempty"`
+
+	// Billing payload.
+	PurchasedJ float64 `json:"purchasedJ,omitempty"`
+	AmountUSD  float64 `json:"amountUSD,omitempty"`
+
+	// Error payload.
+	Err string `json:"err,omitempty"`
+}
+
+// conn wraps a net.Conn with line-oriented JSON send/receive and a mutex
+// serializing request/response exchanges.
+type jsonConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+}
+
+func newJSONConn(c net.Conn) *jsonConn {
+	return &jsonConn{c: c, r: bufio.NewReader(c)}
+}
+
+func (jc *jsonConn) send(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("testbed: marshal: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := jc.c.Write(data); err != nil {
+		return fmt.Errorf("testbed: write: %w", err)
+	}
+	return nil
+}
+
+func (jc *jsonConn) recv() (Message, error) {
+	line, err := jc.r.ReadBytes('\n')
+	if err != nil {
+		return Message{}, fmt.Errorf("testbed: read: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("testbed: unmarshal %q: %w", line, err)
+	}
+	return m, nil
+}
+
+// call performs one serialized request/response round trip.
+func (jc *jsonConn) call(req Message) (Message, error) {
+	jc.mu.Lock()
+	defer jc.mu.Unlock()
+	if err := jc.send(req); err != nil {
+		return Message{}, err
+	}
+	resp, err := jc.recv()
+	if err != nil {
+		return Message{}, err
+	}
+	if resp.Type == MsgError {
+		return Message{}, fmt.Errorf("testbed: remote error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (jc *jsonConn) close() error { return jc.c.Close() }

@@ -1,0 +1,184 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// Trial configures one field-experiment trial.
+type Trial struct {
+	// Scheduler is the algorithm under test.
+	Scheduler core.Scheduler
+	// Seed drives trial-to-trial variation (residual energies) and agent
+	// measurement noise.
+	Seed int64
+	// Noise configures agent measurement noise; zero value means
+	// DefaultNoise().
+	Noise NoiseParams
+	// Params configures the physical testbed; zero value means
+	// gen.DefaultFieldParams().
+	Params gen.FieldExperimentParams
+	// RegisterTimeout bounds agent registration; zero means 5s.
+	RegisterTimeout time.Duration
+	// Log, when non-nil, receives a structured trial event (and one
+	// charge event per session) for offline inspection.
+	Log *eventlog.Logger
+}
+
+// TrialResult is the outcome of one trial.
+type TrialResult struct {
+	// SchedulerName labels the algorithm.
+	SchedulerName string
+	// PlannedCost is the scheduler's model-predicted comprehensive cost
+	// (computed on the noisy reported instance).
+	PlannedCost float64
+	// MeasuredCost is the cost accounted from agent measurements and
+	// charger bills — the field number the paper reports.
+	MeasuredCost float64
+	// Sessions is the number of charging sessions bought.
+	Sessions int
+	// EnergyStored is the total energy delivered, joules.
+	EnergyStored float64
+}
+
+// RunTrial spins up a coordinator plus one agent per node and charger on
+// loopback TCP, runs one complete scheduling round, and tears everything
+// down.
+func RunTrial(t Trial) (*TrialResult, error) {
+	if t.Scheduler == nil {
+		return nil, fmt.Errorf("testbed: nil scheduler")
+	}
+	if t.Noise == (NoiseParams{}) {
+		t.Noise = DefaultNoise()
+	}
+	if t.Params == (gen.FieldExperimentParams{}) {
+		t.Params = gen.DefaultFieldParams()
+	}
+	if t.RegisterTimeout == 0 {
+		t.RegisterTimeout = 5 * time.Second
+	}
+
+	base, err := gen.FieldExperiment(t.Params)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: build field instance: %w", err)
+	}
+
+	coord, err := NewCoordinator(len(base.Devices), len(base.Chargers))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = coord.Close() }()
+
+	// Trial-to-trial variation: each node's true residual differs run to
+	// run, as in repeated physical trials.
+	trialR := rng.Derive(t.Seed, "trial")
+	var devAgents []*DeviceAgent
+	var chAgents []*ChargerAgent
+	defer func() {
+		for _, a := range devAgents {
+			_ = a.Close()
+		}
+		for _, a := range chAgents {
+			_ = a.Close()
+		}
+	}()
+	for _, d := range base.Devices {
+		demand := d.Demand * (0.8 + 0.4*trialR.Float64())
+		a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+			ID:       d.ID,
+			Pos:      d.Pos,
+			DemandJ:  demand,
+			MoveRate: d.MoveRate,
+		}, t.Noise, t.Seed)
+		if err != nil {
+			return nil, err
+		}
+		devAgents = append(devAgents, a)
+	}
+	for _, ch := range base.Chargers {
+		pl, err := powerLawOf(ch)
+		if err != nil {
+			return nil, err
+		}
+		a, err := StartChargerAgent(coord.Addr(), ChargerState{
+			ID:             ch.ID,
+			Pos:            ch.Pos,
+			Fee:            ch.Fee,
+			TariffCoeff:    pl.Coeff,
+			TariffExponent: pl.Exponent,
+			Efficiency:     ch.Efficiency,
+		})
+		if err != nil {
+			return nil, err
+		}
+		chAgents = append(chAgents, a)
+	}
+	if err := coord.WaitReady(t.RegisterTimeout); err != nil {
+		return nil, err
+	}
+
+	reported, err := coord.CollectInstance()
+	if err != nil {
+		return nil, err
+	}
+	reported.Field = base.Field
+	cm, err := core.NewCostModel(reported)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: reported instance: %w", err)
+	}
+	sched, err := t.Scheduler.Schedule(cm)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: scheduler %s: %w", t.Scheduler.Name(), err)
+	}
+	if err := sched.Validate(len(reported.Devices), len(reported.Chargers)); err != nil {
+		return nil, fmt.Errorf("testbed: scheduler %s produced invalid schedule: %w", t.Scheduler.Name(), err)
+	}
+
+	rep, err := coord.ExecuteSchedule(reported, sched)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range sched.Coalitions {
+		_ = t.Log.Log(eventlog.Event{
+			Kind:    eventlog.KindCharge,
+			Charger: reported.Chargers[c.Charger].ID,
+			Devices: len(c.Members),
+		})
+	}
+	_ = t.Log.Log(eventlog.Event{
+		Kind:      eventlog.KindTrial,
+		Scheduler: t.Scheduler.Name(),
+		Cost:      rep.MeasuredCost,
+		EnergyJ:   rep.EnergyStored,
+		Sessions:  rep.Sessions,
+		Devices:   len(reported.Devices),
+	})
+	return &TrialResult{
+		SchedulerName: t.Scheduler.Name(),
+		PlannedCost:   cm.TotalCost(sched),
+		MeasuredCost:  rep.MeasuredCost,
+		Sessions:      rep.Sessions,
+		EnergyStored:  rep.EnergyStored,
+	}, nil
+}
+
+// powerLawOf extracts power-law tariff parameters from a charger; the
+// testbed wire protocol advertises tariffs in that form.
+func powerLawOf(ch core.Charger) (struct{ Coeff, Exponent float64 }, error) {
+	var out struct{ Coeff, Exponent float64 }
+	// Fit coeff/exponent from two probe prices; exact for power-law
+	// tariffs (including linear as exponent 1).
+	p1, p2 := ch.Tariff.Price(100), ch.Tariff.Price(1000)
+	if p1 <= 0 || p2 <= 0 {
+		return out, fmt.Errorf("testbed: charger %s tariff not positive at probes", ch.ID)
+	}
+	out.Exponent = math.Log(p2/p1) / math.Ln10
+	out.Coeff = p1 / math.Pow(100, out.Exponent)
+	return out, nil
+}

@@ -1,0 +1,135 @@
+// Package tour plans the route of a mobile charger that must serve
+// several charging sessions in one dispatch: classic open/closed tour
+// construction with the nearest-neighbor heuristic refined by 2-opt.
+// It backs the mobile-charger extension of the CCS model, where a
+// charger's travel cost depends on the order it visits its sessions'
+// rendezvous points.
+package tour
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Length returns the round-trip length of the tour start → stops[order[0]]
+// → … → stops[order[k-1]] → start.
+func Length(start geom.Point, stops []geom.Point, order []int) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	total := start.Dist(stops[order[0]])
+	for i := 1; i < len(order); i++ {
+		total += stops[order[i-1]].Dist(stops[order[i]])
+	}
+	return total + stops[order[len(order)-1]].Dist(start)
+}
+
+// NearestNeighbor builds a visiting order greedily: from the current
+// position, always go to the nearest unvisited stop.
+func NearestNeighbor(start geom.Point, stops []geom.Point) []int {
+	n := len(stops)
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	cur := start
+	for len(order) < n {
+		best, bestD := -1, math.Inf(1)
+		for i, p := range stops {
+			if visited[i] {
+				continue
+			}
+			if d := cur.Dist2(p); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+		cur = stops[best]
+	}
+	return order
+}
+
+// TwoOpt improves a tour by repeatedly reversing segments while any
+// reversal shortens the round trip. The input order is not modified; the
+// returned order is a permutation of it with Length no greater.
+func TwoOpt(start geom.Point, stops []geom.Point, order []int) []int {
+	out := append([]int(nil), order...)
+	if len(out) < 3 {
+		return out
+	}
+	pos := func(i int) geom.Point {
+		if i < 0 || i >= len(out) {
+			return start
+		}
+		return stops[out[i]]
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < len(out)-1; i++ {
+			for j := i + 1; j < len(out); j++ {
+				// Reversing out[i..j] replaces edges (i-1,i) and (j,j+1)
+				// with (i-1,j) and (i,j+1).
+				before := pos(i-1).Dist(pos(i)) + pos(j).Dist(pos(j+1))
+				after := pos(i-1).Dist(pos(j)) + pos(i).Dist(pos(j+1))
+				if after < before-1e-12 {
+					reverse(out[i : j+1])
+					improved = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Plan returns a good round-trip visiting order for the stops: nearest
+// neighbor refined by 2-opt, with its length.
+func Plan(start geom.Point, stops []geom.Point) ([]int, float64, error) {
+	if len(stops) == 0 {
+		return nil, 0, errors.New("tour: no stops")
+	}
+	order := TwoOpt(start, stops, NearestNeighbor(start, stops))
+	return order, Length(start, stops, order), nil
+}
+
+// BruteForce finds the optimal visiting order by enumeration; factorial,
+// for tests and tiny tours only (≤ 10 stops).
+func BruteForce(start geom.Point, stops []geom.Point) ([]int, float64, error) {
+	n := len(stops)
+	if n == 0 {
+		return nil, 0, errors.New("tour: no stops")
+	}
+	if n > 10 {
+		return nil, 0, errors.New("tour: brute force limited to 10 stops")
+	}
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	best := append([]int(nil), cur...)
+	bestLen := Length(start, stops, cur)
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			if l := Length(start, stops, cur); l < bestLen {
+				bestLen = l
+				copy(best, cur)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			permute(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	permute(0)
+	return best, bestLen, nil
+}
+
+func reverse(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

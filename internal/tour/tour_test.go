@@ -1,0 +1,133 @@
+package tour
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randStops(r *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*100, r.Float64()*100)
+	}
+	return pts
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestLength(t *testing.T) {
+	start := geom.Pt(0, 0)
+	stops := []geom.Point{geom.Pt(3, 0), geom.Pt(3, 4)}
+	if got := Length(start, stops, []int{0, 1}); math.Abs(got-(3+4+5)) > 1e-12 {
+		t.Errorf("Length = %v, want 12", got)
+	}
+	if got := Length(start, stops, nil); got != 0 {
+		t.Errorf("empty tour length = %v", got)
+	}
+}
+
+func TestNearestNeighborIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(12)
+		stops := randStops(r, n)
+		order := NearestNeighbor(geom.Pt(0, 0), stops)
+		if !isPermutation(order, n) {
+			t.Fatalf("trial %d: not a permutation: %v", trial, order)
+		}
+	}
+}
+
+func TestTwoOptNeverWorse(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(15)
+		stops := randStops(r, n)
+		start := geom.Pt(50, 50)
+		nn := NearestNeighbor(start, stops)
+		improved := TwoOpt(start, stops, nn)
+		if !isPermutation(improved, n) {
+			t.Fatalf("trial %d: 2-opt broke the permutation", trial)
+		}
+		if Length(start, stops, improved) > Length(start, stops, nn)+1e-9 {
+			t.Fatalf("trial %d: 2-opt worsened the tour", trial)
+		}
+	}
+}
+
+func TestTwoOptDoesNotMutateInput(t *testing.T) {
+	stops := []geom.Point{geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(0, 5)}
+	order := []int{3, 0, 2, 1}
+	want := append([]int(nil), order...)
+	TwoOpt(geom.Pt(0, 0), stops, order)
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatal("TwoOpt mutated its input")
+		}
+	}
+}
+
+func TestPlanNearOptimalOnSmallTours(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	var worst float64 = 1
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + r.Intn(6) // up to 8 stops: brute force feasible
+		stops := randStops(r, n)
+		start := geom.Pt(0, 0)
+		_, planLen, err := Plan(start, stops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, optLen, err := BruteForce(start, stops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if planLen < optLen-1e-9 {
+			t.Fatalf("trial %d: plan %v shorter than optimum %v (impossible)", trial, planLen, optLen)
+		}
+		if ratio := planLen / optLen; ratio > worst {
+			worst = ratio
+		}
+	}
+	// 2-opt on these sizes should be within a few percent of optimal.
+	if worst > 1.1 {
+		t.Errorf("worst plan/opt ratio %v > 1.1", worst)
+	}
+}
+
+func TestPlanSingleStop(t *testing.T) {
+	order, length, err := Plan(geom.Pt(0, 0), []geom.Point{geom.Pt(3, 4)})
+	if err != nil || len(order) != 1 || order[0] != 0 {
+		t.Fatalf("Plan single = %v, %v, %v", order, length, err)
+	}
+	if math.Abs(length-10) > 1e-12 {
+		t.Errorf("round trip = %v, want 10", length)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, _, err := Plan(geom.Pt(0, 0), nil); err == nil {
+		t.Error("no stops should error")
+	}
+	if _, _, err := BruteForce(geom.Pt(0, 0), nil); err == nil {
+		t.Error("brute force no stops should error")
+	}
+	if _, _, err := BruteForce(geom.Pt(0, 0), randStops(rand.New(rand.NewSource(1)), 11)); err == nil {
+		t.Error("brute force 11 stops should error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package wsn models the data-collection workload that drains a wireless
+// sensor network's batteries: a first-order radio energy model
+// (electronics + distance-squared amplifier), connectivity by
+// communication range, a minimum-energy routing tree to the sink, and
+// per-round traffic/energy accounting. Relay nodes near the sink carry
+// the network's traffic and drain fastest — the heterogeneous demand
+// profile the cooperative charging scheduler then serves.
+package wsn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// RadioModel is the first-order radio energy model: transmitting k bits
+// over distance d costs Elec·k + Amp·k·d², receiving k bits costs Elec·k.
+type RadioModel struct {
+	// ElecJPerBit is the electronics energy, J/bit.
+	ElecJPerBit float64
+	// AmpJPerBitM2 is the amplifier energy, J/bit/m².
+	AmpJPerBitM2 float64
+}
+
+// DefaultRadio returns the classic first-order constants
+// (50 nJ/bit electronics, 100 pJ/bit/m² amplifier).
+func DefaultRadio() RadioModel {
+	return RadioModel{ElecJPerBit: 50e-9, AmpJPerBitM2: 100e-12}
+}
+
+// TxEnergy returns the energy to transmit bits over distance d, joules.
+func (r RadioModel) TxEnergy(bits, d float64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	return r.ElecJPerBit*bits + r.AmpJPerBitM2*bits*d*d
+}
+
+// RxEnergy returns the energy to receive bits, joules.
+func (r RadioModel) RxEnergy(bits float64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	return r.ElecJPerBit * bits
+}
+
+// Network is a sensor deployment reporting to one sink.
+type Network struct {
+	// Sink is the data sink's position.
+	Sink geom.Point
+	// Nodes are the sensor positions.
+	Nodes []geom.Point
+	// CommRange is the maximum hop distance, meters.
+	CommRange float64
+	// Radio is the energy model.
+	Radio RadioModel
+}
+
+// ErrDisconnected is returned when some node cannot reach the sink.
+var ErrDisconnected = errors.New("wsn: network is disconnected")
+
+// Tree is a routing tree toward the sink: Parent[i] is node i's next hop
+// (another node index, or Sink when Parent[i] == -1).
+type Tree struct {
+	// Parent holds each node's next hop; -1 means the sink.
+	Parent []int
+	// HopDist holds the distance of each node's uplink hop, meters.
+	HopDist []float64
+	// PathEnergy holds each node's per-bit energy to reach the sink
+	// along the tree, J/bit.
+	PathEnergy []float64
+}
+
+// BuildRoutingTree computes the minimum-energy-per-bit routing tree to
+// the sink with Dijkstra over the connectivity graph. A hop of length d
+// costs TxEnergy(1,d) plus RxEnergy(1) at the receiving relay (the sink's
+// reception is free — it is mains-powered).
+func BuildRoutingTree(net Network) (*Tree, error) {
+	n := len(net.Nodes)
+	if n == 0 {
+		return nil, errors.New("wsn: no nodes")
+	}
+	if net.CommRange <= 0 {
+		return nil, fmt.Errorf("wsn: comm range %v", net.CommRange)
+	}
+	t := &Tree{
+		Parent:     make([]int, n),
+		HopDist:    make([]float64, n),
+		PathEnergy: make([]float64, n),
+	}
+	for i := range t.PathEnergy {
+		t.Parent[i] = -2 // unreached
+		t.PathEnergy[i] = math.Inf(1)
+	}
+
+	pq := &nodeHeap{}
+	// Seed: every node within range of the sink can uplink directly.
+	for i, p := range net.Nodes {
+		if d := p.Dist(net.Sink); d <= net.CommRange {
+			cost := net.Radio.TxEnergy(1, d) // sink reception is free
+			heap.Push(pq, nodeDist{node: i, cost: cost, parent: -1, hop: d})
+		}
+	}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(nodeDist)
+		if cur.cost >= t.PathEnergy[cur.node] {
+			continue
+		}
+		t.PathEnergy[cur.node] = cur.cost
+		t.Parent[cur.node] = cur.parent
+		t.HopDist[cur.node] = cur.hop
+		for next, p := range net.Nodes {
+			if next == cur.node {
+				continue
+			}
+			d := p.Dist(net.Nodes[cur.node])
+			if d > net.CommRange {
+				continue
+			}
+			// next transmits to cur (a battery-powered relay): pay tx at
+			// next plus rx at cur.
+			cost := cur.cost + net.Radio.TxEnergy(1, d) + net.Radio.RxEnergy(1)
+			if cost < t.PathEnergy[next] {
+				heap.Push(pq, nodeDist{node: next, cost: cost, parent: cur.node, hop: d})
+			}
+		}
+	}
+	for i, p := range t.Parent {
+		if p == -2 {
+			return nil, fmt.Errorf("%w: node %d cannot reach the sink", ErrDisconnected, i)
+		}
+	}
+	return t, nil
+}
+
+type nodeDist struct {
+	node   int
+	cost   float64
+	parent int
+	hop    float64
+}
+
+type nodeHeap []nodeDist
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeDist)) }
+func (h *nodeHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// RoundEnergy returns each node's energy drain for one collection round
+// in which every node originates bitsPerNode bits that flow along the
+// tree to the sink: each node transmits its subtree's traffic over its
+// uplink and receives its children's traffic.
+func RoundEnergy(net Network, t *Tree, bitsPerNode float64) ([]float64, error) {
+	n := len(net.Nodes)
+	if t == nil || len(t.Parent) != n {
+		return nil, errors.New("wsn: tree does not match network")
+	}
+	if bitsPerNode < 0 {
+		return nil, fmt.Errorf("wsn: negative traffic %v", bitsPerNode)
+	}
+	// load[i] = bits forwarded by i = own + subtree below.
+	load := make([]float64, n)
+	for i := range load {
+		load[i] = bitsPerNode
+	}
+	// Children's loads propagate upward; process nodes in decreasing
+	// path-energy order (children strictly farther in cost than parents).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sortByPathEnergyDesc(order, t.PathEnergy)
+	for _, i := range order {
+		if p := t.Parent[i]; p >= 0 {
+			load[p] += load[i]
+		}
+	}
+	energy := make([]float64, n)
+	for i := range energy {
+		received := load[i] - bitsPerNode
+		energy[i] = net.Radio.TxEnergy(load[i], t.HopDist[i]) + net.Radio.RxEnergy(received)
+	}
+	return energy, nil
+}
+
+// Depths returns each node's hop count to the sink along the tree.
+func (t *Tree) Depths() []int {
+	n := len(t.Parent)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	var walk func(i int) int
+	walk = func(i int) int {
+		if i == -1 {
+			return 0
+		}
+		if depth[i] >= 0 {
+			return depth[i]
+		}
+		depth[i] = walk(t.Parent[i]) + 1
+		return depth[i]
+	}
+	for i := range depth {
+		walk(i)
+	}
+	return depth
+}
+
+func sortByPathEnergyDesc(order []int, energy []float64) {
+	sort.SliceStable(order, func(a, b int) bool {
+		return energy[order[a]] > energy[order[b]]
+	})
+}
