@@ -6,12 +6,28 @@
 package repro
 
 import (
+	"flag"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
 )
 
+// benchWorkersFlag sizes the experiment worker pool for every benchmark
+// below; 0 means all cores. Compare serial vs parallel with e.g.
+//
+//	go test -bench=BenchmarkTable1Headline -workers=1
+//	go test -bench=BenchmarkTable1Headline -workers=4
+//
+// The rendered tables are byte-identical for every value — only the
+// wall-clock changes.
+var benchWorkersFlag = flag.Int("workers", 0, "experiment worker-pool size for benchmarks (0 = all cores)")
+
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentWorkers(b, id, *benchWorkersFlag)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, workers int) {
 	b.Helper()
 	e, err := experiment.Get(id)
 	if err != nil {
@@ -19,7 +35,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := e.Run(experiment.Config{Quick: true})
+		res, err := e.Run(experiment.Config{Quick: true, Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,3 +95,22 @@ func BenchmarkExt3Online(b *testing.B) { benchExperiment(b, "ext3-online") }
 
 // BenchmarkExt4Auction regenerates the procurement-auction extension.
 func BenchmarkExt4Auction(b *testing.B) { benchExperiment(b, "ext4-auction") }
+
+// BenchmarkTable1Serial pins the single-worker baseline of the Table 1
+// regeneration; BenchmarkTable1Parallel runs the same workload on one
+// worker per core. The ns/op ratio is the harness's parallel speedup.
+func BenchmarkTable1Serial(b *testing.B) { benchExperimentWorkers(b, "table1", 1) }
+
+// BenchmarkTable1Parallel runs Table 1 with a full-width worker pool.
+func BenchmarkTable1Parallel(b *testing.B) {
+	benchExperimentWorkers(b, "table1", runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkFig3Serial and BenchmarkFig3Parallel do the same for the
+// widest sweep grid (sizes × reps cells).
+func BenchmarkFig3Serial(b *testing.B) { benchExperimentWorkers(b, "fig3", 1) }
+
+// BenchmarkFig3Parallel runs Fig 3 with a full-width worker pool.
+func BenchmarkFig3Parallel(b *testing.B) {
+	benchExperimentWorkers(b, "fig3", runtime.GOMAXPROCS(0))
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -37,10 +38,17 @@ func run(args []string, out io.Writer) error {
 		chargers  = fs.Int("chargers", 1, "number of charger agents to wait for")
 		schedName = fs.String("scheduler", "CCSA", "NONCOOP | CCSGA | CCSA | OPT")
 		timeout   = fs.Duration("timeout", 60*time.Second, "registration timeout")
+		workers   = fs.Int("workers", 0, "cap OS threads used for the scheduling solve, for daemons sharing a host (0 = all cores)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
 	}
 	var sched core.Scheduler
 	switch *schedName {

@@ -85,6 +85,9 @@ func TestDaemonValidation(t *testing.T) {
 	if err := run([]string{"-listen", "256.0.0.1:99999"}, &buf); err == nil {
 		t.Error("bad listen address should error")
 	}
+	if err := run([]string{"-workers", "-1"}, &buf); err == nil {
+		t.Error("negative -workers should error")
+	}
 }
 
 func TestDaemonRegistrationTimeout(t *testing.T) {

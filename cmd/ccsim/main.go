@@ -27,17 +27,29 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsim", flag.ContinueOnError)
 	var (
-		id    = fs.String("experiment", "all", "experiment id (table1, fig3..fig10, table2) or 'all'")
-		list  = fs.Bool("list", false, "list available experiments and exit")
-		seed  = fs.Int64("seed", 0, "base seed (0 = default 2021)")
-		reps  = fs.Int("reps", 0, "override replication count (0 = experiment default)")
-		quick = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		id      = fs.String("experiment", "all", "experiment id (table1, fig3..fig10, table2) or 'all'")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		seed    = fs.Int64("seed", 0, "base seed (default 2021; an explicit -seed 0 runs the literal seed 0)")
+		reps    = fs.Int("reps", 0, "override replication count (0 = experiment default)")
+		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		workers = fs.Int("workers", 0, "max concurrent experiment cells (0 = all CPU cores); output is identical for every value")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	// An explicit -seed flag — even -seed 0 — is an intentional choice;
+	// only an absent flag falls through to the 2021 default.
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 
 	if *list {
 		for _, e := range experiment.Registry() {
@@ -57,7 +69,7 @@ func run(args []string, out io.Writer) error {
 		exps = []experiment.Experiment{e}
 	}
 
-	cfg := experiment.Config{Seed: *seed, Reps: *reps, Quick: *quick}
+	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers}
 	for i, e := range exps {
 		if i > 0 {
 			fmt.Fprintln(out)

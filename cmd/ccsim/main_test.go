@@ -56,3 +56,47 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("bad flag should error")
 	}
 }
+
+func TestRunNegativeWorkers(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-workers", "-3"}, &buf); err == nil {
+		t.Error("negative -workers should error")
+	}
+}
+
+// runOutput runs ccsim with args and returns its rendered output.
+func runOutput(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf strings.Builder
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+// TestSeedZeroIsExplicit is the regression test for the Seed zero-value
+// fix: omitting -seed uses the default 2021, while an explicit -seed 0
+// runs the literal seed 0 and must therefore produce different numbers.
+func TestSeedZeroIsExplicit(t *testing.T) {
+	base := []string{"-experiment", "table1", "-quick", "-csv"}
+	def := runOutput(t, base...)
+	explicit2021 := runOutput(t, append([]string{"-seed", "2021"}, base...)...)
+	if def != explicit2021 {
+		t.Errorf("default seed output differs from explicit -seed 2021:\n%s\nvs\n%s", def, explicit2021)
+	}
+	zero := runOutput(t, append([]string{"-seed", "0"}, base...)...)
+	if zero == def {
+		t.Error("-seed 0 produced the default-seed output; the explicit zero seed was swallowed")
+	}
+}
+
+// TestWorkersFlagDeterminism asserts the CLI contract printed in the
+// -workers usage string: output is identical for every worker count.
+func TestWorkersFlagDeterminism(t *testing.T) {
+	base := []string{"-experiment", "table1", "-quick", "-csv"}
+	one := runOutput(t, append([]string{"-workers", "1"}, base...)...)
+	eight := runOutput(t, append([]string{"-workers", "8"}, base...)...)
+	if one != eight {
+		t.Errorf("-workers 1 and -workers 8 disagree:\n%s\nvs\n%s", one, eight)
+	}
+}

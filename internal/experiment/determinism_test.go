@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// redactNondeterministic blanks the one class of experiment output that
+// legitimately differs run to run: fig7's wall-clock timing cells and
+// note. Everything else — every cost, ratio, count, and chart — must be
+// bit-identical across runs and worker counts, so only fig7 is touched.
+func redactNondeterministic(res *Result) {
+	if res.ID != "fig7" {
+		return
+	}
+	for _, row := range res.Table.Rows {
+		for i := 1; i < len(row); i++ {
+			if row[i] != "-" {
+				row[i] = "(timing)"
+			}
+		}
+	}
+	for i := range res.Notes {
+		res.Notes[i] = "(timing note)"
+	}
+}
+
+// TestWorkersDeterminism is the harness's core guarantee, asserted for
+// every registered experiment: a single-worker (serial) run and an
+// 8-worker run of the same Quick config produce identical Table.Rows,
+// Notes, and Chart strings. Correctness rests on seed-derivation
+// discipline — each (label, rep) cell derives its own stream and writes
+// its own slot — not on locks, so any aggregation-order or seed-sharing
+// bug shows up here as a diff.
+func TestWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker determinism sweep skipped in -short mode")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := e.Run(Config{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatalf("Workers=1: %v", err)
+			}
+			parallel, err := e.Run(Config{Quick: true, Workers: 8})
+			if err != nil {
+				t.Fatalf("Workers=8: %v", err)
+			}
+			redactNondeterministic(serial)
+			redactNondeterministic(parallel)
+			if !reflect.DeepEqual(serial.Table.Rows, parallel.Table.Rows) {
+				t.Errorf("Table.Rows differ between Workers=1 and Workers=8:\nserial:\n%s\nparallel:\n%s",
+					serial.Table.Text(), parallel.Table.Text())
+			}
+			if serial.Table.Title != parallel.Table.Title {
+				t.Errorf("titles differ: %q vs %q", serial.Table.Title, parallel.Table.Title)
+			}
+			if !reflect.DeepEqual(serial.Notes, parallel.Notes) {
+				t.Errorf("Notes differ:\nserial: %q\nparallel: %q", serial.Notes, parallel.Notes)
+			}
+			if serial.Chart != parallel.Chart {
+				t.Errorf("Chart differs:\nserial:\n%s\nparallel:\n%s", serial.Chart, parallel.Chart)
+			}
+		})
+	}
+}

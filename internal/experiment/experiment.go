@@ -2,25 +2,44 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 )
 
 // Config controls how experiments run.
 type Config struct {
-	// Seed is the base seed of every derived random stream. The default
-	// (zero) maps to 2021.
+	// Seed is the base seed of every derived random stream. A zero Seed
+	// with SeedSet false maps to the default 2021; set SeedSet to run
+	// the literal seed 0.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, distinguishing an
+	// intentional seed 0 from the zero value.
+	SeedSet bool
 	// Reps overrides each experiment's replication count when positive.
 	Reps int
 	// Quick shrinks sweeps and replications for smoke tests and benches.
 	Quick bool
+	// Workers bounds how many independent experiment cells — seeded
+	// (label, rep) instances — run concurrently. Zero or negative means
+	// runtime.GOMAXPROCS(0). Results are byte-identical for every
+	// worker count: cells write into pre-indexed slots and aggregation
+	// order is fixed.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
-	if c.Seed == 0 {
+	if c.Seed == 0 && !c.SeedSet {
 		c.Seed = 2021
 	}
 	return c
+}
+
+// workerCount resolves the Workers knob to a concrete pool size.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // reps picks the replication count: explicit override, else quick or full
@@ -78,6 +97,16 @@ func Registry() []Experiment {
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps
+}
+
+// IDs returns every registered experiment ID, sorted.
+func IDs() []string {
+	exps := Registry()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // Get returns the experiment with the given ID.

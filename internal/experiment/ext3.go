@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -13,7 +14,8 @@ import (
 
 // ext3 studies online arrivals: batching policies trade waiting time for
 // coalition size; costs are normalized by the clairvoyant single-batch
-// schedule.
+// schedule. (policy, rep) cells run concurrently — each regenerates its
+// own arrival trace from the rep seed, and the charger set is only read.
 func ext3() Experiment {
 	return Experiment{
 		ID:    "ext3-online",
@@ -31,41 +33,63 @@ func ext3() Experiment {
 			if cfg.Quick {
 				policies = policies[:3]
 			}
+			chargers := extOnlineChargers(cfg)
+
+			type cell struct {
+				ratio, rounds, wait float64
+				misses              int
+			}
+			cells := make([]cell, len(policies)*reps)
+			err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+				p := policies[idx/reps]
+				rep := idx % reps
+				seed := rng.DeriveSeed(cfg.Seed, "ext3", fmt.Sprintf("rep-%d", rep))
+				arrivals, err := online.GenerateArrivals(seed, 40, 60, 600, 1200,
+					geom.Square(1000), 150, 450, 0.008, 0.02)
+				if err != nil {
+					return err
+				}
+				oc := online.Config{
+					Chargers:  chargers,
+					Arrivals:  arrivals,
+					Policy:    p,
+					Scheduler: core.CCSAScheduler{},
+					Field:     geom.Square(1000),
+				}
+				off, err := online.OfflineClairvoyant(oc)
+				if err != nil {
+					return err
+				}
+				m, err := online.Run(oc)
+				if err != nil {
+					return err
+				}
+				cells[idx] = cell{
+					ratio:  m.TotalCost / off,
+					rounds: float64(m.Rounds),
+					wait:   m.MeanWait,
+					misses: m.DeadlineMisses,
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Ext 3 — 40 arrivals (mean 60 s apart, 10–20 min patience), %d reps", reps),
 				Columns: []string{"policy", "cost / clairvoyant", "rounds", "mean wait (s)", "misses"},
 			}
-			chargers := extOnlineChargers(cfg)
 			var immRatio, bestRatio float64
 			for pi, p := range policies {
 				var ratios, rounds, waits []float64
 				misses := 0
 				for rep := 0; rep < reps; rep++ {
-					seed := rng.DeriveSeed(cfg.Seed, "ext3", fmt.Sprintf("rep-%d", rep))
-					arrivals, err := online.GenerateArrivals(seed, 40, 60, 600, 1200,
-						geom.Square(1000), 150, 450, 0.008, 0.02)
-					if err != nil {
-						return nil, err
-					}
-					oc := online.Config{
-						Chargers:  chargers,
-						Arrivals:  arrivals,
-						Policy:    p,
-						Scheduler: core.CCSAScheduler{},
-						Field:     geom.Square(1000),
-					}
-					off, err := online.OfflineClairvoyant(oc)
-					if err != nil {
-						return nil, err
-					}
-					m, err := online.Run(oc)
-					if err != nil {
-						return nil, err
-					}
-					ratios = append(ratios, m.TotalCost/off)
-					rounds = append(rounds, float64(m.Rounds))
-					waits = append(waits, m.MeanWait)
-					misses += m.DeadlineMisses
+					c := cells[pi*reps+rep]
+					ratios = append(ratios, c.ratio)
+					rounds = append(rounds, c.rounds)
+					waits = append(waits, c.wait)
+					misses += c.misses
 				}
 				meanRatio := stats.Mean(ratios)
 				tbl.AddRow(p.Name(),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -27,42 +28,63 @@ func ext4() Experiment {
 				Title:   fmt.Sprintf("Ext 4 — buying CCSA coalitions' sessions (n=20, m=5), %d reps", reps),
 				Columns: []string{"mechanism", "mean buyer cost / coalition", "vs posted", "winner = efficient"},
 			}
-			var posted, first, second []float64
-			efficient, audited := 0, 0
-			for rep := 0; rep < reps; rep++ {
+			// Replications run concurrently; each rep's per-coalition
+			// samples stay in coalition order inside its cell and cells
+			// concatenate in rep order, matching the serial loop.
+			type cell struct {
+				posted, first, second []float64
+				efficient, audited    int
+			}
+			cells := make([]cell, reps)
+			err := ParallelMap(context.Background(), cfg.workerCount(), reps, func(_ context.Context, rep int) error {
 				seed := rng.DeriveSeed(cfg.Seed, "ext4", fmt.Sprintf("rep-%d", rep))
 				in, err := gen.Instance(seed, defaultParams(20, 5))
 				if err != nil {
-					return nil, err
+					return err
 				}
 				cm, err := core.NewCostModel(in)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				res, err := core.CCSA(cm, core.CCSAOptions{})
 				if err != nil {
-					return nil, err
+					return err
 				}
+				var out cell
 				for _, c := range res.Schedule.Coalitions {
 					// Posted price: the coalition's comprehensive cost at
 					// its assigned charger.
-					posted = append(posted, cm.SessionCost(c.Members, c.Charger))
+					out.posted = append(out.posted, cm.SessionCost(c.Members, c.Charger))
 					bids := mechanism.TruthfulBids(cm, c.Members)
 					fp, err := mechanism.FirstPrice(cm, c.Members, bids)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					first = append(first, fp.BuyerCost)
+					out.first = append(out.first, fp.BuyerCost)
 					sp, err := mechanism.SecondPrice(cm, c.Members, bids)
 					if err != nil {
-						return nil, err
+						return err
 					}
-					second = append(second, sp.BuyerCost)
-					audited++
+					out.second = append(out.second, sp.BuyerCost)
+					out.audited++
 					if sp.Winner == fp.Winner {
-						efficient++
+						out.efficient++
 					}
 				}
+				cells[rep] = out
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var posted, first, second []float64
+			efficient, audited := 0, 0
+			for _, c := range cells {
+				posted = append(posted, c.posted...)
+				first = append(first, c.first...)
+				second = append(second, c.second...)
+				efficient += c.efficient
+				audited += c.audited
 			}
 			postedMean := stats.Mean(posted)
 			rows := []struct {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -53,8 +54,12 @@ func fig10() Experiment {
 				{"CCSA", core.CCSAScheduler{}, false},
 				{"CCSA+proactive", core.CCSAScheduler{}, true},
 			}
-			for _, run := range runs {
-				s := run.sched
+			// The four lifetime simulations are independent (each builds
+			// its own node population from the same derived seed), so
+			// they run concurrently; rows render in the fixed run order.
+			metrics := make([]*mwrsn.Metrics, len(runs))
+			err = ParallelMap(context.Background(), cfg.workerCount(), len(runs), func(_ context.Context, i int) error {
+				run := runs[i]
 				m, err := mwrsn.Run(mwrsn.Config{
 					Field:    geom.Square(1000),
 					NumNodes: nodes,
@@ -73,14 +78,22 @@ func fig10() Experiment {
 					TickSeconds:     60,
 					RoundSeconds:    6 * 3600,
 					ChargeThreshold: 0.45,
-					Scheduler:       s,
+					Scheduler:       run.sched,
 					DurationSeconds: days * 24 * 3600,
 					Seed:            rng.DeriveSeed(cfg.Seed, "fig10", "run"),
 					Proactive:       run.proactive,
 				})
 				if err != nil {
-					return nil, fmt.Errorf("fig10 %s: %w", run.label, err)
+					return fmt.Errorf("fig10 %s: %w", run.label, err)
 				}
+				metrics[i] = m
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, run := range runs {
+				m := metrics[i]
 				tbl.AddRow(run.label,
 					F(m.MonetaryCost),
 					fmt.Sprintf("%d", m.Rounds),

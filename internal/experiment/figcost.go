@@ -33,6 +33,19 @@ func fig3() Experiment {
 				sizes = []int{10, 20, 30}
 			}
 
+			points := make([]sweepPoint, len(sizes))
+			for i, n := range sizes {
+				points[i] = sweepPoint{
+					label:  fmt.Sprintf("fig3-n%d", n),
+					params: defaultParams(n, 10),
+					scheds: schedulerSet(n <= core.MaxOptimalDevices),
+				}
+			}
+			grid, err := sweepGrid(cfg, points, reps)
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Fig 3 — mean comprehensive cost ($) vs n, %d reps", reps),
 				Columns: []string{"n", "NONCOOP", "CCSGA", "CCSA", "OPT"},
@@ -44,15 +57,10 @@ func fig3() Experiment {
 				gaSer   []float64
 				ccsaSer []float64
 			)
-			for _, n := range sizes {
-				includeOpt := n <= core.MaxOptimalDevices
-				costs, err := sweepCosts(cfg, fmt.Sprintf("fig3-n%d", n),
-					defaultParams(n, 10), reps, schedulerSet(includeOpt))
-				if err != nil {
-					return nil, err
-				}
+			for i, n := range sizes {
+				costs := grid[i]
 				optCell := "-"
-				if includeOpt {
+				if n <= core.MaxOptimalDevices {
 					optCell = meanCell(costs["OPT"])
 				}
 				tbl.AddRow(fmt.Sprintf("%d", n),
@@ -93,6 +101,20 @@ func fig4() Experiment {
 			if cfg.Quick {
 				sizes = []int{4, 12}
 			}
+
+			points := make([]sweepPoint, len(sizes))
+			for i, m := range sizes {
+				points[i] = sweepPoint{
+					label:  fmt.Sprintf("fig4-m%d", m),
+					params: defaultParams(40, m),
+					scheds: schedulerSet(false),
+				}
+			}
+			grid, err := sweepGrid(cfg, points, reps)
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Fig 4 — mean comprehensive cost ($) vs m, %d reps", reps),
 				Columns: []string{"m", "NONCOOP", "CCSGA", "CCSA"},
@@ -100,11 +122,7 @@ func fig4() Experiment {
 			type point struct{ non, ccsa float64 }
 			var first, last point
 			for idx, m := range sizes {
-				costs, err := sweepCosts(cfg, fmt.Sprintf("fig4-m%d", m),
-					defaultParams(40, m), reps, schedulerSet(false))
-				if err != nil {
-					return nil, err
-				}
+				costs := grid[idx]
 				tbl.AddRow(fmt.Sprintf("%d", m),
 					meanCell(costs["NONCOOP"]), meanCell(costs["CCSGA"]), meanCell(costs["CCSA"]))
 				p := point{stats.Mean(costs["NONCOOP"]), stats.Mean(costs["CCSA"])}
@@ -134,17 +152,28 @@ func fig5() Experiment {
 			if cfg.Quick {
 				scales = []float64{0.5, 2}
 			}
+
+			points := make([]sweepPoint, len(scales))
+			for i, sc := range scales {
+				p := defaultParams(40, 10)
+				p.DemandScale = sc
+				points[i] = sweepPoint{
+					label:  fmt.Sprintf("fig5-s%g", sc),
+					params: p,
+					scheds: schedulerSet(false),
+				}
+			}
+			grid, err := sweepGrid(cfg, points, reps)
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Fig 5 — mean comprehensive cost ($) vs demand scale, %d reps", reps),
 				Columns: []string{"demand ×", "NONCOOP", "CCSGA", "CCSA", "CCSA saving"},
 			}
-			for _, sc := range scales {
-				p := defaultParams(40, 10)
-				p.DemandScale = sc
-				costs, err := sweepCosts(cfg, fmt.Sprintf("fig5-s%g", sc), p, reps, schedulerSet(false))
-				if err != nil {
-					return nil, err
-				}
+			for i, sc := range scales {
+				costs := grid[i]
 				r, err := stats.RatioOfMeans(costs["CCSA"], costs["NONCOOP"])
 				if err != nil {
 					return nil, err
@@ -173,6 +202,22 @@ func fig6() Experiment {
 			if cfg.Quick {
 				scales = []float64{0.5, 3}
 			}
+
+			points := make([]sweepPoint, len(scales))
+			for i, sc := range scales {
+				p := defaultParams(40, 10)
+				p.MoveRateScale = sc
+				points[i] = sweepPoint{
+					label:  fmt.Sprintf("fig6-s%g", sc),
+					params: p,
+					scheds: schedulerSet(false),
+				}
+			}
+			grid, err := sweepGrid(cfg, points, reps)
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Fig 6 — mean comprehensive cost ($) vs move-rate scale, %d reps", reps),
 				Columns: []string{"move rate ×", "NONCOOP", "CCSGA", "CCSA", "CCSA saving"},
@@ -181,13 +226,8 @@ func fig6() Experiment {
 				savings []float64
 				xs      []string
 			)
-			for _, sc := range scales {
-				p := defaultParams(40, 10)
-				p.MoveRateScale = sc
-				costs, err := sweepCosts(cfg, fmt.Sprintf("fig6-s%g", sc), p, reps, schedulerSet(false))
-				if err != nil {
-					return nil, err
-				}
+			for i, sc := range scales {
+				costs := grid[i]
 				r, err := stats.RatioOfMeans(costs["CCSA"], costs["NONCOOP"])
 				if err != nil {
 					return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,13 @@ import (
 
 // fig7 measures per-solve wall-clock time: CCSGA must be much faster than
 // CCSA, which is the abstract's scalability claim.
+//
+// fig7 deliberately ignores Config.Workers and runs serially: its cells
+// measure wall-clock solve time, and concurrent cells contending for
+// cores would distort the very quantity being reported. (Its timing
+// cells are also the one experiment output that is inherently
+// non-deterministic run to run; the golden/determinism tests redact
+// them.)
 func fig7() Experiment {
 	return Experiment{
 		ID:    "fig7",
@@ -84,7 +92,9 @@ func fig7() Experiment {
 }
 
 // fig8 measures CCSGA convergence: switch operations and passes until a
-// pure Nash equilibrium, and verifies stability.
+// pure Nash equilibrium, and verifies stability. Every (size, rep) cell
+// is an independent seeded game, so all cells run concurrently on the
+// worker pool and land in pre-indexed slots.
 func fig8() Experiment {
 	return Experiment{
 		ID:    "fig8",
@@ -96,33 +106,55 @@ func fig8() Experiment {
 			if cfg.Quick {
 				sizes = []int{20, 50}
 			}
+
+			type cell struct {
+				switches, passes  float64
+				converged, stable bool
+			}
+			cells := make([]cell, len(sizes)*reps)
+			err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+				n := sizes[idx/reps]
+				rep := idx % reps
+				seed := rng.DeriveSeed(cfg.Seed, "fig8", fmt.Sprintf("n%d-rep%d", n, rep))
+				in, err := gen.Instance(seed, defaultParams(n, maxInt(4, n/10)))
+				if err != nil {
+					return err
+				}
+				cm, err := core.NewCostModel(in)
+				if err != nil {
+					return err
+				}
+				res, err := core.CCSGA(cm, core.CCSGAOptions{Seed: seed})
+				if err != nil {
+					return err
+				}
+				cells[idx] = cell{
+					switches:  float64(res.Switches),
+					passes:    float64(res.Passes),
+					converged: res.Converged,
+					stable:    res.NashStable,
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+
 			tbl := &Table{
 				Title:   fmt.Sprintf("Fig 8 — CCSGA switch dynamics, %d reps", reps),
 				Columns: []string{"n", "switches", "passes", "converged", "Nash-stable"},
 			}
-			for _, n := range sizes {
+			for si, n := range sizes {
 				var switches, passes []float64
 				converged, stable := 0, 0
 				for rep := 0; rep < reps; rep++ {
-					seed := rng.DeriveSeed(cfg.Seed, "fig8", fmt.Sprintf("n%d-rep%d", n, rep))
-					in, err := gen.Instance(seed, defaultParams(n, maxInt(4, n/10)))
-					if err != nil {
-						return nil, err
-					}
-					cm, err := core.NewCostModel(in)
-					if err != nil {
-						return nil, err
-					}
-					res, err := core.CCSGA(cm, core.CCSGAOptions{Seed: seed})
-					if err != nil {
-						return nil, err
-					}
-					switches = append(switches, float64(res.Switches))
-					passes = append(passes, float64(res.Passes))
-					if res.Converged {
+					c := cells[si*reps+rep]
+					switches = append(switches, c.switches)
+					passes = append(passes, c.passes)
+					if c.converged {
 						converged++
 					}
-					if res.NashStable {
+					if c.stable {
 						stable++
 					}
 				}
@@ -141,7 +173,8 @@ func fig8() Experiment {
 
 // fig9 compares the two intragroup cost-sharing schemes on the same CCSA
 // schedules: spread of individual shares, budget balance, and individual
-// rationality.
+// rationality. Cells are (scheme, rep) pairs; per-cell tallies are
+// merged in rep order so samples match the serial loop exactly.
 func fig9() Experiment {
 	return Experiment{
 		ID:    "fig9",
@@ -154,61 +187,89 @@ func fig9() Experiment {
 				Columns: []string{"scheme", "mean share", "Gini", "IR violations", "in core", "budget error"},
 			}
 			schemes := []core.SharingScheme{core.PDS{}, core.ESS{}, core.Shapley{}}
-			for _, scheme := range schemes {
+
+			type cell struct {
+				shares          []float64
+				irViol, total   int
+				inCore, audited int
+				budgetErr       float64
+			}
+			cells := make([]cell, len(schemes)*reps)
+			err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+				scheme := schemes[idx/reps]
+				rep := idx % reps
+				seed := rng.DeriveSeed(cfg.Seed, "fig9", fmt.Sprintf("rep%d", rep))
+				in, err := gen.Instance(seed, defaultParams(20, 5))
+				if err != nil {
+					return err
+				}
+				cm, err := core.NewCostModel(in)
+				if err != nil {
+					return err
+				}
+				res, err := core.CCSA(cm, core.CCSAOptions{})
+				if err != nil {
+					return err
+				}
+				shares, err := core.ScheduleShares(cm, res.Schedule, scheme)
+				if err != nil {
+					return err
+				}
+				var c cell
+				var sum float64
+				for i, sh := range shares {
+					c.shares = append(c.shares, sh)
+					sum += sh
+					sigma, _ := cm.StandaloneCost(i)
+					if sh > sigma+1e-9 {
+						c.irViol++
+					}
+					c.total++
+				}
+				want := cm.TotalCost(res.Schedule)
+				if d := sum - want; d > c.budgetErr || -d > c.budgetErr {
+					if d < 0 {
+						d = -d
+					}
+					c.budgetErr = d
+				}
+				// Core audit: no subgroup of any coalition can defect
+				// profitably (subsets are exponential: audit the small
+				// coalitions).
+				for _, coal := range res.Schedule.Coalitions {
+					if len(coal.Members) < 2 || len(coal.Members) > 12 {
+						continue
+					}
+					ok, err := core.InCore(cm, coal, scheme)
+					if err != nil {
+						return err
+					}
+					c.audited++
+					if ok {
+						c.inCore++
+					}
+				}
+				cells[idx] = c
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			for si, scheme := range schemes {
 				var all []float64
 				var irViol, total int
 				var inCore, audited int
 				var budgetErr float64
 				for rep := 0; rep < reps; rep++ {
-					seed := rng.DeriveSeed(cfg.Seed, "fig9", fmt.Sprintf("rep%d", rep))
-					in, err := gen.Instance(seed, defaultParams(20, 5))
-					if err != nil {
-						return nil, err
-					}
-					cm, err := core.NewCostModel(in)
-					if err != nil {
-						return nil, err
-					}
-					res, err := core.CCSA(cm, core.CCSAOptions{})
-					if err != nil {
-						return nil, err
-					}
-					shares, err := core.ScheduleShares(cm, res.Schedule, scheme)
-					if err != nil {
-						return nil, err
-					}
-					var sum float64
-					for i, sh := range shares {
-						all = append(all, sh)
-						sum += sh
-						sigma, _ := cm.StandaloneCost(i)
-						if sh > sigma+1e-9 {
-							irViol++
-						}
-						total++
-					}
-					want := cm.TotalCost(res.Schedule)
-					if d := sum - want; d > budgetErr || -d > budgetErr {
-						if d < 0 {
-							d = -d
-						}
-						budgetErr = d
-					}
-					// Core audit: no subgroup of any coalition can defect
-					// profitably (subsets are exponential: audit the small
-					// coalitions).
-					for _, c := range res.Schedule.Coalitions {
-						if len(c.Members) < 2 || len(c.Members) > 12 {
-							continue
-						}
-						ok, err := core.InCore(cm, c, scheme)
-						if err != nil {
-							return nil, err
-						}
-						audited++
-						if ok {
-							inCore++
-						}
+					c := cells[si*reps+rep]
+					all = append(all, c.shares...)
+					irViol += c.irViol
+					total += c.total
+					inCore += c.inCore
+					audited += c.audited
+					if c.budgetErr > budgetErr {
+						budgetErr = c.budgetErr
 					}
 				}
 				s, err := stats.Summarize(all)

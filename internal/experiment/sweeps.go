@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -22,34 +23,75 @@ func schedulerSet(includeOpt bool) []core.Scheduler {
 	return s
 }
 
-// sweepCosts runs every scheduler on reps seeded instances of p and
-// returns each scheduler's total-cost sample, keyed by scheduler name.
-// Seeds derive from (cfg.Seed, label, rep) so sweep points are
-// independent and reproducible.
-func sweepCosts(cfg Config, label string, p gen.Params, reps int, scheds []core.Scheduler) (map[string][]float64, error) {
-	out := make(map[string][]float64, len(scheds))
-	for rep := 0; rep < reps; rep++ {
-		seed := rng.DeriveSeed(cfg.Seed, label, fmt.Sprintf("rep-%d", rep))
-		in, err := gen.Instance(seed, p)
+// sweepPoint is one column of a sweep: a labelled generator
+// configuration evaluated by a fixed scheduler lineup.
+type sweepPoint struct {
+	label  string
+	params gen.Params
+	scheds []core.Scheduler
+}
+
+// sweepGrid evaluates reps seeded instances of every point. All
+// (point, rep) cells are independent — seeds derive from
+// (cfg.Seed, label, rep) — so they run concurrently on cfg's worker
+// pool; each cell writes into its pre-indexed slot and the per-point
+// samples are assembled in (rep, scheduler) order, making the result
+// byte-identical to a serial sweep for any worker count.
+func sweepGrid(cfg Config, points []sweepPoint, reps int) ([]map[string][]float64, error) {
+	cells := make([]map[string]float64, len(points)*reps)
+	err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+		pt := points[idx/reps]
+		rep := idx % reps
+		seed := rng.DeriveSeed(cfg.Seed, pt.label, fmt.Sprintf("rep-%d", rep))
+		in, err := gen.Instance(seed, pt.params)
 		if err != nil {
-			return nil, fmt.Errorf("%s rep %d: %w", label, rep, err)
+			return fmt.Errorf("%s rep %d: %w", pt.label, rep, err)
 		}
 		cm, err := core.NewCostModel(in)
 		if err != nil {
-			return nil, fmt.Errorf("%s rep %d: %w", label, rep, err)
+			return fmt.Errorf("%s rep %d: %w", pt.label, rep, err)
 		}
-		for _, s := range scheds {
+		cell := make(map[string]float64, len(pt.scheds))
+		for _, s := range pt.scheds {
 			sched, err := s.Schedule(cm)
 			if err != nil {
-				return nil, fmt.Errorf("%s rep %d %s: %w", label, rep, s.Name(), err)
+				return fmt.Errorf("%s rep %d %s: %w", pt.label, rep, s.Name(), err)
 			}
 			if err := sched.Validate(len(in.Devices), len(in.Chargers)); err != nil {
-				return nil, fmt.Errorf("%s rep %d %s: invalid schedule: %w", label, rep, s.Name(), err)
+				return fmt.Errorf("%s rep %d %s: invalid schedule: %w", pt.label, rep, s.Name(), err)
 			}
-			out[s.Name()] = append(out[s.Name()], cm.TotalCost(sched))
+			cell[s.Name()] = cm.TotalCost(sched)
 		}
+		cells[idx] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string][]float64, len(points))
+	for pi, pt := range points {
+		m := make(map[string][]float64, len(pt.scheds))
+		for rep := 0; rep < reps; rep++ {
+			for _, s := range pt.scheds {
+				name := s.Name()
+				m[name] = append(m[name], cells[pi*reps+rep][name])
+			}
+		}
+		out[pi] = m
 	}
 	return out, nil
+}
+
+// sweepCosts runs every scheduler on reps seeded instances of p and
+// returns each scheduler's total-cost sample, keyed by scheduler name.
+// Replications run concurrently on cfg's worker pool; see sweepGrid for
+// the determinism guarantee.
+func sweepCosts(cfg Config, label string, p gen.Params, reps int, scheds []core.Scheduler) (map[string][]float64, error) {
+	grid, err := sweepGrid(cfg, []sweepPoint{{label: label, params: p, scheds: scheds}}, reps)
+	if err != nil {
+		return nil, err
+	}
+	return grid[0], nil
 }
 
 // meanCell formats a sample as "mean ± ci95".

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -27,15 +28,30 @@ func table2() Experiment {
 				core.CCSAScheduler{},
 				core.OptimalScheduler{},
 			}
+			// Every (trial, scheduler) cell spins up its own loopback
+			// testbed (coordinator + agents on a fresh port), so cells
+			// run concurrently; samples assemble in (trial, scheduler)
+			// order, matching the serial harness exactly.
+			cells := make([]*testbed.TrialResult, trials*len(scheds))
+			err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+				trial := idx / len(scheds)
+				s := scheds[idx%len(scheds)]
+				seed := rng.DeriveSeed(cfg.Seed, "table2", fmt.Sprintf("trial-%d", trial))
+				res, err := testbed.RunTrial(testbed.Trial{Scheduler: s, Seed: seed})
+				if err != nil {
+					return fmt.Errorf("trial %d %s: %w", trial, s.Name(), err)
+				}
+				cells[idx] = res
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
 			measured := make(map[string][]float64)
 			sessions := make(map[string][]float64)
 			for trial := 0; trial < trials; trial++ {
-				seed := rng.DeriveSeed(cfg.Seed, "table2", fmt.Sprintf("trial-%d", trial))
-				for _, s := range scheds {
-					res, err := testbed.RunTrial(testbed.Trial{Scheduler: s, Seed: seed})
-					if err != nil {
-						return nil, fmt.Errorf("trial %d %s: %w", trial, s.Name(), err)
-					}
+				for si, s := range scheds {
+					res := cells[trial*len(scheds)+si]
 					measured[s.Name()] = append(measured[s.Name()], res.MeasuredCost)
 					sessions[s.Name()] = append(sessions[s.Name()], float64(res.Sessions))
 				}
