@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -33,12 +34,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsd", flag.ContinueOnError)
 	var (
-		listen    = fs.String("listen", "127.0.0.1:0", "listen address")
-		devices   = fs.Int("devices", 1, "number of device agents to wait for")
-		chargers  = fs.Int("chargers", 1, "number of charger agents to wait for")
-		schedName = fs.String("scheduler", "CCSA", "NONCOOP | CCSGA | CCSA | OPT")
-		timeout   = fs.Duration("timeout", 60*time.Second, "registration timeout")
-		workers   = fs.Int("workers", 0, "cap OS threads used for the scheduling solve, for daemons sharing a host (0 = all cores)")
+		listen     = fs.String("listen", "127.0.0.1:0", "listen address")
+		devices    = fs.Int("devices", 1, "number of device agents to wait for")
+		chargers   = fs.Int("chargers", 1, "number of charger agents to wait for")
+		schedName  = fs.String("scheduler", "CCSA", "NONCOOP | CCSGA | CCSA | OPT")
+		timeout    = fs.Duration("timeout", 60*time.Second, "registration timeout")
+		workers    = fs.Int("workers", 0, "cap OS threads used for the scheduling solve, for daemons sharing a host (0 = all cores)")
+		rpcTimeout = fs.Duration("rpc-timeout", testbed.DefaultRPCTimeout, "per-RPC deadline on agent connections")
+		maxRetries = fs.Int("max-retries", testbed.DefaultMaxRetries, "extra attempts for idempotent agent RPCs")
+		minQuorum  = fs.Int("min-quorum", 0, "proceed with a partial run if at least this many devices are responsive (0 = require all)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -46,6 +50,15 @@ func run(args []string, out io.Writer) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *rpcTimeout <= 0 {
+		return fmt.Errorf("-rpc-timeout must be > 0, got %v", *rpcTimeout)
+	}
+	if *maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0, got %d", *maxRetries)
+	}
+	if *minQuorum < 0 || *minQuorum > *devices {
+		return fmt.Errorf("-min-quorum must be in [0, -devices], got %d", *minQuorum)
 	}
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
@@ -64,7 +77,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
-	coord, err := testbed.NewCoordinatorListen(*listen, *devices, *chargers)
+	cfg := testbed.Config{
+		RPCTimeout: *rpcTimeout,
+		MaxRetries: *maxRetries,
+		MinQuorum:  *minQuorum,
+	}
+	if *maxRetries == 0 {
+		cfg.MaxRetries = -1 // flag 0 means "no retries", not "default"
+	}
+	if *minQuorum == 0 {
+		cfg.MinQuorum = *devices // require the full population
+	}
+	coord, err := testbed.NewCoordinatorConfig(*listen, *devices, *chargers, cfg)
 	if err != nil {
 		return err
 	}
@@ -72,14 +96,25 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "listening on %s (waiting for %d devices, %d chargers)\n",
 		coord.Addr(), *devices, *chargers)
 
-	if err := coord.WaitReady(*timeout); err != nil {
-		return err
+	if *minQuorum > 0 {
+		if err := coord.WaitQuorum(*timeout); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "quorum reached; collecting status")
+	} else {
+		if err := coord.WaitReady(*timeout); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "all agents registered; collecting status")
 	}
-	fmt.Fprintln(out, "all agents registered; collecting status")
 
-	in, err := coord.CollectInstance()
+	in, excluded, err := coord.CollectInstanceDetail()
 	if err != nil {
 		return err
+	}
+	if len(excluded) > 0 {
+		fmt.Fprintf(out, "excluded %d unresponsive device(s): %s\n",
+			len(excluded), strings.Join(excluded, ", "))
 	}
 	cm, err := core.NewCostModel(in)
 	if err != nil {
@@ -95,11 +130,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "%s planned cost $%.2f across %d session(s)\n",
 		sched.Name(), cm.TotalCost(plan), len(plan.Coalitions))
 
-	rep, err := coord.ExecuteSchedule(in, plan)
+	rep, err := coord.ExecuteScheduleWith(in, plan, sched)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "executed: measured cost $%.2f (charging $%.2f + moving $%.2f), %d session(s), %.1f J stored\n",
 		rep.MeasuredCost, rep.ChargingCost, rep.MovingCost, rep.Sessions, rep.EnergyStored)
+	if len(rep.Failed) > 0 || rep.Rescheduled > 0 {
+		fmt.Fprintf(out, "partial result: %d agent(s) failed mid-execution (%s), %d membership(s) rescheduled\n",
+			len(rep.Failed), strings.Join(rep.Failed, ", "), rep.Rescheduled)
+	}
 	return nil
 }

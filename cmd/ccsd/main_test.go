@@ -88,6 +88,78 @@ func TestDaemonValidation(t *testing.T) {
 	if err := run([]string{"-workers", "-1"}, &buf); err == nil {
 		t.Error("negative -workers should error")
 	}
+	if err := run([]string{"-rpc-timeout", "-1s"}, &buf); err == nil {
+		t.Error("negative -rpc-timeout should error")
+	}
+	if err := run([]string{"-max-retries", "-1"}, &buf); err == nil {
+		t.Error("negative -max-retries should error")
+	}
+	if err := run([]string{"-devices", "2", "-min-quorum", "3"}, &buf); err == nil {
+		t.Error("-min-quorum above -devices should error")
+	}
+}
+
+// TestDaemonQuorumProceedsWithMissingDevice: with -min-quorum, the daemon
+// must complete a partial run when one expected device never shows up,
+// instead of timing out.
+func TestDaemonQuorumProceedsWithMissingDevice(t *testing.T) {
+	pr, pw := io.Pipe()
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = pw.Close() }()
+		runErr = run([]string{
+			"-listen", "127.0.0.1:0",
+			"-devices", "2", "-chargers", "1",
+			"-scheduler", "NONCOOP",
+			"-timeout", "500ms",
+			"-rpc-timeout", "2s",
+			"-min-quorum", "1",
+		}, pw)
+	}()
+
+	scanner := bufio.NewScanner(pr)
+	if !scanner.Scan() {
+		t.Fatal("no listen line from daemon")
+	}
+	addr := strings.Fields(strings.TrimPrefix(scanner.Text(), "listening on "))[0]
+
+	ch, err := testbed.StartChargerAgent(addr, testbed.ChargerState{
+		ID: "c1", Pos: geom.Pt(50, 50), Fee: 5,
+		TariffCoeff: 0.12, TariffExponent: 0.85, Efficiency: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ch.Close() }()
+	// Only one of the two expected devices registers.
+	a, err := testbed.StartDeviceAgent(addr, testbed.DeviceState{
+		ID: "d1", Pos: geom.Pt(10, 10), DemandJ: 120, MoveRate: 0.05,
+	}, testbed.DefaultNoise(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+
+	var rest strings.Builder
+	for scanner.Scan() {
+		rest.WriteString(scanner.Text())
+		rest.WriteByte('\n')
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("daemon: %v", runErr)
+	}
+	out := rest.String()
+	for _, want := range []string{"quorum reached", "planned cost", "executed: measured cost", "1 session(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("daemon output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 func TestDaemonRegistrationTimeout(t *testing.T) {

@@ -44,6 +44,9 @@ func run(args []string, out io.Writer) error {
 		coeff    = fs.Float64("coeff", 0.12, "tariff coefficient")
 		exponent = fs.Float64("exponent", 0.85, "tariff exponent")
 		eta      = fs.Float64("eta", 0.75, "WPT efficiency (0,1]")
+		// Connection robustness.
+		rpcTimeout = fs.Duration("rpc-timeout", testbed.DefaultRPCTimeout, "dial and registration handshake deadline")
+		maxRetries = fs.Int("max-retries", testbed.DefaultMaxRetries, "extra dial attempts (with backoff) if the coordinator is not up yet")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -52,15 +55,26 @@ func run(args []string, out io.Writer) error {
 	if *id == "" {
 		return fmt.Errorf("-id is required")
 	}
+	if *rpcTimeout <= 0 {
+		return fmt.Errorf("-rpc-timeout must be > 0, got %v", *rpcTimeout)
+	}
+	if *maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0, got %d", *maxRetries)
+	}
+	cfg := testbed.AgentConfig{
+		DialTimeout:      *rpcTimeout,
+		HandshakeTimeout: *rpcTimeout,
+		MaxDialRetries:   *maxRetries,
+	}
 
 	switch *role {
 	case "device":
-		a, err := testbed.StartDeviceAgent(*connect, testbed.DeviceState{
+		a, err := testbed.StartDeviceAgentCfg(*connect, testbed.DeviceState{
 			ID:       *id,
 			Pos:      geom.Pt(*x, *y),
 			DemandJ:  *demand,
 			MoveRate: *moveRate,
-		}, testbed.NoiseParams{DemandStdFrac: *noise, DistanceStdFrac: *noise}, *seed)
+		}, testbed.NoiseParams{DemandStdFrac: *noise, DistanceStdFrac: *noise}, *seed, cfg)
 		if err != nil {
 			return err
 		}
@@ -69,14 +83,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "device %s: coordinator closed the session\n", *id)
 		return a.Close()
 	case "charger":
-		a, err := testbed.StartChargerAgent(*connect, testbed.ChargerState{
+		a, err := testbed.StartChargerAgentCfg(*connect, testbed.ChargerState{
 			ID:             *id,
 			Pos:            geom.Pt(*x, *y),
 			Fee:            *fee,
 			TariffCoeff:    *coeff,
 			TariffExponent: *exponent,
 			Efficiency:     *eta,
-		})
+		}, cfg)
 		if err != nil {
 			return err
 		}

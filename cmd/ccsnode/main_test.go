@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -19,6 +20,60 @@ func TestNodeValidation(t *testing.T) {
 	}
 	if err := run([]string{"-role", "device", "-id", "x", "-connect", "127.0.0.1:1"}, &buf); err == nil {
 		t.Error("unreachable coordinator should error")
+	}
+	if err := run([]string{"-role", "device", "-id", "x", "-rpc-timeout", "0s"}, &buf); err == nil {
+		t.Error("nonpositive -rpc-timeout should error")
+	}
+	if err := run([]string{"-role", "device", "-id", "x", "-max-retries", "-1"}, &buf); err == nil {
+		t.Error("negative -max-retries should error")
+	}
+}
+
+// TestNodeDialRetriesUntilCoordinatorUp: a node started before its
+// coordinator must retry the dial and register once the coordinator
+// appears, instead of failing on the first refused connection.
+func TestNodeDialRetriesUntilCoordinatorUp(t *testing.T) {
+	// Reserve an address, then free it so the first dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	var (
+		wg     sync.WaitGroup
+		out    strings.Builder
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run([]string{
+			"-connect", addr, "-role", "device", "-id", "d1",
+			"-max-retries", "8", "-rpc-timeout", "1s",
+		}, &out)
+	}()
+
+	// Bring the coordinator up on that address while the node is
+	// retrying.
+	time.Sleep(100 * time.Millisecond)
+	coord, err := testbed.NewCoordinatorListen(addr, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.WaitReady(5 * time.Second); err != nil {
+		t.Fatalf("node never registered: %v", err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Errorf("node: %v", runErr)
+	}
+	if !strings.Contains(out.String(), "registered") {
+		t.Errorf("node output:\n%s", out.String())
 	}
 }
 

@@ -8,10 +8,71 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rng"
 )
+
+// AgentConfig tunes agent-side connection robustness. The zero value
+// reproduces the legacy behavior: one dial attempt, no deadlines.
+type AgentConfig struct {
+	// DialTimeout bounds each dial attempt; 0 means the OS default.
+	DialTimeout time.Duration
+	// MaxDialRetries is the number of extra dial attempts after a failed
+	// one, with exponential backoff — lets an agent start before its
+	// coordinator is up.
+	MaxDialRetries int
+	// HandshakeTimeout bounds the registration round trip; 0 = no deadline.
+	HandshakeTimeout time.Duration
+	// Conn, when non-nil, is used instead of dialing — the entry point for
+	// fault injection (wrap with NewFaultConn) and in-memory transports.
+	Conn net.Conn
+}
+
+// dial establishes the agent's connection per the config.
+func (cfg AgentConfig) dial(addr string) (net.Conn, error) {
+	if cfg.Conn != nil {
+		return cfg.Conn, nil
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt <= cfg.MaxDialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// handshake registers over jc and waits for the coordinator's ack,
+// bounded by HandshakeTimeout.
+func (cfg AgentConfig) handshake(jc *jsonConn, reg Message) error {
+	if cfg.HandshakeTimeout > 0 {
+		_ = jc.c.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
+		defer func() { _ = jc.c.SetDeadline(time.Time{}) }()
+	}
+	if err := jc.send(reg); err != nil {
+		return err
+	}
+	resp, err := jc.recv()
+	if err != nil {
+		return err
+	}
+	if resp.Type == MsgError {
+		return fmt.Errorf("testbed: registration rejected: %s", resp.Err)
+	}
+	if resp.Type != MsgRegistered {
+		return fmt.Errorf("testbed: unexpected registration reply %q", resp.Type)
+	}
+	return nil
+}
 
 // NoiseParams configures agent measurement noise.
 type NoiseParams struct {
@@ -52,7 +113,13 @@ type DeviceAgent struct {
 // StartDeviceAgent connects to the coordinator at addr, registers, and
 // serves commands on a background goroutine until the connection closes.
 func StartDeviceAgent(addr string, state DeviceState, noise NoiseParams, seed int64) (*DeviceAgent, error) {
-	c, err := net.Dial("tcp", addr)
+	return StartDeviceAgentCfg(addr, state, noise, seed, AgentConfig{})
+}
+
+// StartDeviceAgentCfg is StartDeviceAgent with explicit connection
+// robustness settings.
+func StartDeviceAgentCfg(addr string, state DeviceState, noise NoiseParams, seed int64, cfg AgentConfig) (*DeviceAgent, error) {
+	c, err := cfg.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: device %s dial: %w", state.ID, err)
 	}
@@ -63,18 +130,11 @@ func StartDeviceAgent(addr string, state DeviceState, noise NoiseParams, seed in
 		conn:  newJSONConn(c),
 		done:  make(chan struct{}),
 	}
-	if err := a.conn.send(Message{
+	if err := cfg.handshake(a.conn, Message{
 		Type: MsgRegister, Role: "device", ID: state.ID,
 		PosX: state.Pos.X, PosY: state.Pos.Y,
 	}); err != nil {
 		_ = a.conn.close()
-		return nil, err
-	}
-	if resp, err := a.conn.recv(); err != nil || resp.Type != MsgRegistered {
-		_ = a.conn.close()
-		if err == nil {
-			err = fmt.Errorf("testbed: unexpected registration reply %q", resp.Type)
-		}
 		return nil, err
 	}
 	go a.serve()
@@ -123,6 +183,7 @@ func (a *DeviceAgent) serve() {
 		default:
 			resp = Message{Type: MsgError, Err: fmt.Sprintf("device: unknown request %q", req.Type)}
 		}
+		resp.Seq = req.Seq
 		if err := a.conn.send(resp); err != nil {
 			a.err = err
 			return
@@ -176,7 +237,13 @@ type ChargerAgent struct {
 // StartChargerAgent connects, registers and serves on a background
 // goroutine until the connection closes.
 func StartChargerAgent(addr string, state ChargerState) (*ChargerAgent, error) {
-	c, err := net.Dial("tcp", addr)
+	return StartChargerAgentCfg(addr, state, AgentConfig{})
+}
+
+// StartChargerAgentCfg is StartChargerAgent with explicit connection
+// robustness settings.
+func StartChargerAgentCfg(addr string, state ChargerState, cfg AgentConfig) (*ChargerAgent, error) {
+	c, err := cfg.dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: charger %s dial: %w", state.ID, err)
 	}
@@ -185,7 +252,7 @@ func StartChargerAgent(addr string, state ChargerState) (*ChargerAgent, error) {
 		conn:  newJSONConn(c),
 		done:  make(chan struct{}),
 	}
-	if err := a.conn.send(Message{
+	if err := cfg.handshake(a.conn, Message{
 		Type: MsgRegister, Role: "charger", ID: state.ID,
 		PosX: state.Pos.X, PosY: state.Pos.Y,
 		Fee:            state.Fee,
@@ -194,13 +261,6 @@ func StartChargerAgent(addr string, state ChargerState) (*ChargerAgent, error) {
 		Efficiency:     state.Efficiency,
 	}); err != nil {
 		_ = a.conn.close()
-		return nil, err
-	}
-	if resp, err := a.conn.recv(); err != nil || resp.Type != MsgRegistered {
-		_ = a.conn.close()
-		if err == nil {
-			err = fmt.Errorf("testbed: unexpected registration reply %q", resp.Type)
-		}
 		return nil, err
 	}
 	go a.serve()
@@ -236,6 +296,7 @@ func (a *ChargerAgent) serve() {
 		default:
 			resp = Message{Type: MsgError, Err: fmt.Sprintf("charger: unknown request %q", req.Type)}
 		}
+		resp.Seq = req.Seq
 		if err := a.conn.send(resp); err != nil {
 			a.err = err
 			return

@@ -1,18 +1,21 @@
 package testbed
 
 import (
+	"io"
 	"net"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/testutil"
 )
 
 // Failure-injection tests: the coordinator must fail cleanly — with a
 // descriptive error, not a hang or a panic — when agents misbehave.
 
 func TestCoordinatorSurvivesGarbageConnection(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +45,52 @@ func TestCoordinatorSurvivesGarbageConnection(t *testing.T) {
 	}
 }
 
+// TestSlowLorisDoesNotBlockRegistration is the regression test for the
+// synchronous-handshake bug: a client that connects and sends nothing
+// used to park the accept goroutine, blocking every registration behind
+// it. Handshakes now run per-connection with a deadline.
+func TestSlowLorisDoesNotBlockRegistration(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
+	coord, err := NewCoordinatorConfig("127.0.0.1:0", 1, 0, Config{
+		HandshakeTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	loris, err := net.Dial("tcp", coord.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = loris.Close() }()
+
+	// With the loris holding its connection open and silent, a
+	// well-behaved agent must still register promptly.
+	a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+		ID: "ok", Pos: geom.Pt(1, 1), DemandJ: 10, MoveRate: 0.1,
+	}, DefaultNoise(), 1)
+	if err != nil {
+		t.Fatalf("registration blocked behind a slow-loris client: %v", err)
+	}
+	defer func() { _ = a.Close() }()
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loris itself is dropped once its handshake deadline expires.
+	_ = loris.SetReadDeadline(time.Now().Add(2 * time.Second))
+	data, err := io.ReadAll(loris)
+	if err != nil {
+		t.Fatalf("loris connection not closed after handshake deadline: %v", err)
+	}
+	if !strings.Contains(string(data), "expected register") {
+		t.Errorf("loris got %q, want an 'expected register' error before the close", data)
+	}
+}
+
 func TestCoordinatorReportsDeadAgentOnStatus(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +125,7 @@ func TestCoordinatorReportsDeadAgentOnStatus(t *testing.T) {
 }
 
 func TestCoordinatorRejectsUnknownRole(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +150,7 @@ func TestCoordinatorRejectsUnknownRole(t *testing.T) {
 }
 
 func TestAgentRejectsUnknownRequest(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +175,7 @@ func TestAgentRejectsUnknownRequest(t *testing.T) {
 }
 
 func TestCloseIsIdempotentAndLeakFree(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -149,9 +200,13 @@ func TestCloseIsIdempotentAndLeakFree(t *testing.T) {
 	if err := coord.WaitReady(2 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// Close everything, in an order that exercises both sides.
+	// Close everything, in an order that exercises both sides — twice:
+	// a double Close must be a safe no-op, not a panic or a leak.
 	if err := coord.Close(); err != nil {
 		t.Errorf("coordinator Close: %v", err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Errorf("coordinator second Close: %v", err)
 	}
 	for _, a := range agents {
 		if err := a.Close(); err != nil {

@@ -1,0 +1,162 @@
+package testbed
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultAction enumerates the deterministic faults a FaultConn can inject.
+type FaultAction int
+
+// Fault actions, applied to the Nth outgoing message of a connection.
+const (
+	// FaultNone leaves the message alone.
+	FaultNone FaultAction = iota
+	// FaultHang blocks the write until the connection is closed, emulating
+	// a process that stops responding without dropping its socket.
+	FaultHang
+	// FaultDrop silently discards the message: the sender believes it was
+	// delivered, the peer never sees it.
+	FaultDrop
+	// FaultDelay delivers the message after Script.Delay, emulating a slow
+	// or congested link.
+	FaultDelay
+	// FaultCorrupt flips bytes inside the message body (the trailing
+	// newline survives, so the peer's framing stays aligned and only this
+	// one message is garbage).
+	FaultCorrupt
+	// FaultClose closes the connection instead of sending, emulating a
+	// crash or network partition.
+	FaultClose
+)
+
+// String names the action for test tables and logs.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultNone:
+		return "none"
+	case FaultHang:
+		return "hang"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultClose:
+		return "close"
+	}
+	return "unknown"
+}
+
+// FaultScript is one scripted fault: Action fires on the At-th outgoing
+// message of the connection (1-based). The testbed protocol writes exactly
+// one newline-delimited message per Write call, so "message" and "Write"
+// coincide; for a device agent message 1 is its registration, 2 its first
+// status reply, 3 its first charge report. Scripts make an entire failure
+// scenario a deterministic value — no sleeps, no racing the scheduler.
+type FaultScript struct {
+	At     int
+	Action FaultAction
+	Delay  time.Duration // used by FaultDelay
+}
+
+// FaultPlan assigns per-agent fault scripts by agent ID. A nil plan (or an
+// ID with no entry) injects nothing, so a plan can be threaded through
+// unconditionally.
+type FaultPlan map[string][]FaultScript
+
+// Dial connects to addr and wraps the connection with the scripts for id.
+// IDs without scripts get a plain connection.
+func (p FaultPlan) Dial(addr, id string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wrap(c, id), nil
+}
+
+// Wrap applies the plan's scripts for id to an existing connection.
+func (p FaultPlan) Wrap(c net.Conn, id string) net.Conn {
+	scripts := p[id]
+	if len(scripts) == 0 {
+		return c
+	}
+	return NewFaultConn(c, scripts...)
+}
+
+// FaultConn wraps a net.Conn and injects scripted faults on outgoing
+// messages. Reads pass through untouched; faults on the write side already
+// produce every peer-visible symptom (missing reply, late reply, garbage
+// frame, dropped connection).
+type FaultConn struct {
+	net.Conn
+
+	mu      sync.Mutex
+	written int // outgoing messages so far
+	scripts []FaultScript
+
+	closeOnce sync.Once
+	closed    chan struct{} // closed on Close; unblocks Hang and Delay
+}
+
+// NewFaultConn wraps c with the given scripts.
+func NewFaultConn(c net.Conn, scripts ...FaultScript) *FaultConn {
+	return &FaultConn{Conn: c, scripts: scripts, closed: make(chan struct{})}
+}
+
+// Write counts the outgoing message and applies the script targeting it,
+// if any. Returning len(p) for a dropped message is deliberate: the sender
+// must believe the send succeeded.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	f.written++
+	var s FaultScript
+	for _, cand := range f.scripts {
+		if cand.At == f.written {
+			s = cand
+			break
+		}
+	}
+	f.mu.Unlock()
+
+	switch s.Action {
+	case FaultHang:
+		<-f.closed
+		return 0, net.ErrClosed
+	case FaultDrop:
+		return len(p), nil
+	case FaultDelay:
+		t := time.NewTimer(s.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-f.closed:
+			return 0, net.ErrClosed
+		}
+	case FaultCorrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		for i := 0; i < len(q); i++ {
+			if q[i] != '\n' {
+				q[i] ^= 0xa5
+			}
+		}
+		if _, err := f.Conn.Write(q); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	case FaultClose:
+		_ = f.Close()
+		return 0, net.ErrClosed
+	}
+	return f.Conn.Write(p)
+}
+
+// Close closes the underlying connection and releases any goroutine
+// blocked in a Hang or Delay fault. Safe to call more than once.
+func (f *FaultConn) Close() error {
+	f.closeOnce.Do(func() { close(f.closed) })
+	return f.Conn.Close()
+}

@@ -1,0 +1,92 @@
+package testbed
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+)
+
+// writeConn is the minimal net.Conn a deadline-free jsonConn.send needs:
+// only Write is ever called, the embedded nil Conn satisfies the rest of
+// the interface.
+type writeConn struct {
+	net.Conn
+	w io.Writer
+}
+
+func (c writeConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// fuzzSeeds are the wire frames the testbed actually exchanges (the same
+// shapes testbed_test.go drives), plus known-hostile ones.
+func fuzzSeeds() [][]byte {
+	return [][]byte{
+		[]byte(`{"type":"register","role":"device","id":"d1","posX":10,"posY":10}` + "\n"),
+		[]byte(`{"type":"register","role":"charger","id":"c1","fee":5,"tariffCoeff":0.12,"tariffExponent":0.85,"efficiency":0.75,"posX":50,"posY":50}` + "\n"),
+		[]byte(`{"type":"registered","id":"d1"}` + "\n"),
+		[]byte(`{"type":"status_req","seq":1}` + "\n"),
+		[]byte(`{"type":"status","id":"d1","demandJ":120.5,"moveRate":0.05,"posX":10,"posY":10,"seq":1}` + "\n"),
+		[]byte(`{"type":"charge_cmd","targetX":50,"targetY":50,"seq":2}` + "\n"),
+		[]byte(`{"type":"charge_done","id":"d1","distanceM":56.57,"storedJ":120.5,"seq":2}` + "\n"),
+		[]byte(`{"type":"bill_req","purchasedJ":160.7,"seq":3}` + "\n"),
+		[]byte(`{"type":"bill","id":"c1","amountUSD":9.23,"seq":3}` + "\n"),
+		[]byte(`{"type":"error","err":"charger: negative purchase"}` + "\n"),
+		[]byte("NOT JSON\n"),
+		[]byte("{\n"),
+		[]byte("\n"),
+		[]byte(`{"type":123}` + "\n"),
+		{0xff, 0xfe, 0x00, '\n'},
+	}
+}
+
+// FuzzMessage feeds arbitrary byte streams to jsonConn.recv: it must
+// return a message or an error, never panic, for any input — the
+// coordinator reads these frames straight off agent sockets.
+func FuzzMessage(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		jc := &jsonConn{r: bufio.NewReader(bytes.NewReader(data))}
+		for i := 0; i < 64; i++ {
+			if _, err := jc.recv(); err != nil {
+				return // every stream must end in a clean error, not a panic
+			}
+		}
+	})
+}
+
+// TestMessageRoundTripEveryType pins the send/recv round-trip property for
+// a representative message of every MsgType: what one side sends, the
+// other side decodes identically.
+func TestMessageRoundTripEveryType(t *testing.T) {
+	msgs := map[MsgType]Message{
+		MsgRegister: {Type: MsgRegister, Role: "charger", ID: "c1", Fee: 5,
+			TariffCoeff: 0.12, TariffExponent: 0.85, Efficiency: 0.75, PosX: 50, PosY: 50},
+		MsgRegistered: {Type: MsgRegistered, ID: "d1"},
+		MsgStatusReq:  {Type: MsgStatusReq, Seq: 1},
+		MsgStatus:     {Type: MsgStatus, ID: "d1", DemandJ: 120.5, MoveRate: 0.05, PosX: 10, PosY: 10, Seq: 1},
+		MsgChargeCmd:  {Type: MsgChargeCmd, TargetX: 50, TargetY: 50, Seq: 2},
+		MsgChargeDone: {Type: MsgChargeDone, ID: "d1", DistanceM: 56.57, StoredJ: 120.5, Seq: 2},
+		MsgBillReq:    {Type: MsgBillReq, PurchasedJ: 160.7, Seq: 3},
+		MsgBill:       {Type: MsgBill, ID: "c1", AmountUSD: 9.23, Seq: 3},
+		MsgError:      {Type: MsgError, Err: "charger: negative purchase"},
+	}
+	for mt, msg := range msgs {
+		var buf bytes.Buffer
+		sender := &jsonConn{c: writeConn{w: &buf}}
+		if err := sender.send(msg); err != nil {
+			t.Fatalf("%s: send: %v", mt, err)
+		}
+		receiver := &jsonConn{r: bufio.NewReader(&buf)}
+		got, err := receiver.recv()
+		if err != nil {
+			t.Fatalf("%s: recv: %v", mt, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%s: round trip = %+v, want %+v", mt, got, msg)
+		}
+	}
+}

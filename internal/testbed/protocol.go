@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // MsgType enumerates the wire messages.
@@ -36,6 +37,14 @@ const (
 // union; Type selects which are meaningful.
 type Message struct {
 	Type MsgType `json:"type"`
+
+	// Seq matches a response to its request. The coordinator stamps every
+	// request with a per-connection sequence number and agents echo it, so
+	// a reply that arrives after its request already timed out (and was
+	// retried) is recognized as stale and discarded instead of being
+	// mistaken for the retry's answer. Zero (registration, legacy peers)
+	// disables matching.
+	Seq int64 `json:"seq,omitempty"`
 
 	// Registration.
 	Role string `json:"role,omitempty"` // "device" | "charger"
@@ -68,11 +77,15 @@ type Message struct {
 }
 
 // conn wraps a net.Conn with line-oriented JSON send/receive and a mutex
-// serializing request/response exchanges.
+// serializing request/response exchanges. A nonzero timeout puts a
+// deadline on every send and on every call's response read, so one hung
+// peer costs at most timeout per RPC instead of blocking forever.
 type jsonConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	r  *bufio.Reader
+	mu      sync.Mutex
+	c       net.Conn
+	r       *bufio.Reader
+	timeout time.Duration // per-RPC deadline; 0 = none
+	seq     int64         // last request sequence number issued by call
 }
 
 func newJSONConn(c net.Conn) *jsonConn {
@@ -85,6 +98,10 @@ func (jc *jsonConn) send(m Message) error {
 		return fmt.Errorf("testbed: marshal: %w", err)
 	}
 	data = append(data, '\n')
+	if jc.timeout > 0 {
+		_ = jc.c.SetWriteDeadline(time.Now().Add(jc.timeout))
+		defer func() { _ = jc.c.SetWriteDeadline(time.Time{}) }()
+	}
 	if _, err := jc.c.Write(data); err != nil {
 		return fmt.Errorf("testbed: write: %w", err)
 	}
@@ -103,21 +120,41 @@ func (jc *jsonConn) recv() (Message, error) {
 	return m, nil
 }
 
-// call performs one serialized request/response round trip.
+// recvDeadline is recv bounded by the connection's timeout. The deadline
+// covers the whole read, including any stale frames skipped by call.
+func (jc *jsonConn) recvDeadline() (Message, error) {
+	if jc.timeout > 0 {
+		_ = jc.c.SetReadDeadline(time.Now().Add(jc.timeout))
+		defer func() { _ = jc.c.SetReadDeadline(time.Time{}) }()
+	}
+	return jc.recv()
+}
+
+// call performs one serialized request/response round trip, bounded by the
+// connection's timeout on both legs. Responses carrying an older sequence
+// number are answers to requests that already timed out; they are drained
+// so the stream stays aligned with the current request.
 func (jc *jsonConn) call(req Message) (Message, error) {
 	jc.mu.Lock()
 	defer jc.mu.Unlock()
+	jc.seq++
+	req.Seq = jc.seq
 	if err := jc.send(req); err != nil {
 		return Message{}, err
 	}
-	resp, err := jc.recv()
-	if err != nil {
-		return Message{}, err
+	for {
+		resp, err := jc.recvDeadline()
+		if err != nil {
+			return Message{}, err
+		}
+		if resp.Seq != 0 && resp.Seq < jc.seq {
+			continue // stale reply to an earlier, timed-out request
+		}
+		if resp.Type == MsgError {
+			return Message{}, fmt.Errorf("testbed: remote error: %s", resp.Err)
+		}
+		return resp, nil
 	}
-	if resp.Type == MsgError {
-		return Message{}, fmt.Errorf("testbed: remote error: %s", resp.Err)
-	}
-	return resp, nil
 }
 
 func (jc *jsonConn) close() error { return jc.c.Close() }

@@ -11,9 +11,11 @@ import (
 	"repro/internal/gen"
 	"repro/internal/geom"
 	"repro/internal/pricing"
+	"repro/internal/testutil"
 )
 
 func TestRunTrialNoncoop(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	res, err := RunTrial(Trial{Scheduler: core.NoncoopScheduler{}, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -33,6 +35,7 @@ func TestRunTrialNoncoop(t *testing.T) {
 }
 
 func TestRunTrialCCSABeatsNoncoop(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	var coop, non float64
 	for seed := int64(1); seed <= 5; seed++ {
 		a, err := RunTrial(Trial{Scheduler: core.CCSAScheduler{}, Seed: seed})
@@ -52,6 +55,7 @@ func TestRunTrialCCSABeatsNoncoop(t *testing.T) {
 }
 
 func TestRunTrialDeterministicGivenSeed(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	a, err := RunTrial(Trial{Scheduler: core.CCSAScheduler{}, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +77,7 @@ func TestRunTrialDeterministicGivenSeed(t *testing.T) {
 }
 
 func TestMeasuredTracksPlannedWithinNoise(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	res, err := RunTrial(Trial{Scheduler: core.CCSAScheduler{}, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +94,57 @@ func TestRunTrialValidation(t *testing.T) {
 	}
 }
 
+// TestCollectInstanceIndexOrderSortedByID pins the device/charger index
+// order that ExecuteSchedule relies on: lexicographic by agent ID,
+// regardless of registration order.
+func TestCollectInstanceIndexOrderSortedByID(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
+	coord, err := NewCoordinator(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = coord.Close() }()
+
+	// Register deliberately out of lexicographic order.
+	for i, id := range []string{"d3", "d1", "d2"} {
+		a, err := StartDeviceAgent(coord.Addr(), DeviceState{
+			ID: id, Pos: geom.Pt(float64(i), 0), DemandJ: 10, MoveRate: 0.1,
+		}, DefaultNoise(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+	}
+	for _, id := range []string{"c2", "c1"} {
+		a, err := StartChargerAgent(coord.Addr(), ChargerState{
+			ID: id, Pos: geom.Pt(5, 5), Fee: 1, TariffCoeff: 0.1, TariffExponent: 0.9, Efficiency: 0.8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() { _ = a.Close() }()
+	}
+	if err := coord.WaitReady(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	in, err := coord.CollectInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"d1", "d2", "d3"} {
+		if in.Devices[i].ID != want {
+			t.Errorf("Devices[%d].ID = %q, want %q", i, in.Devices[i].ID, want)
+		}
+	}
+	for i, want := range []string{"c1", "c2"} {
+		if in.Chargers[i].ID != want {
+			t.Errorf("Chargers[%d].ID = %q, want %q", i, in.Chargers[i].ID, want)
+		}
+	}
+}
+
 func TestCoordinatorWaitReadyTimeout(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(1, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -101,6 +156,7 @@ func TestCoordinatorWaitReadyTimeout(t *testing.T) {
 }
 
 func TestCoordinatorRejectsDuplicateIDs(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(2, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -118,6 +174,7 @@ func TestCoordinatorRejectsDuplicateIDs(t *testing.T) {
 }
 
 func TestChargerAgentBilling(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	coord, err := NewCoordinator(0, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -178,6 +235,7 @@ func TestPowerLawOfRecoversParams(t *testing.T) {
 }
 
 func TestAllSchedulersRunOnTestbed(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	for _, s := range []core.Scheduler{
 		core.NoncoopScheduler{},
 		core.CCSAScheduler{},
@@ -195,6 +253,7 @@ func TestAllSchedulersRunOnTestbed(t *testing.T) {
 }
 
 func TestTrialCustomParams(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	p := gen.DefaultFieldParams()
 	p.SessionFee = 20
 	res, err := RunTrial(Trial{Scheduler: core.CCSAScheduler{}, Seed: 2, Params: p})
@@ -211,6 +270,7 @@ func TestTrialCustomParams(t *testing.T) {
 }
 
 func TestRunTrialEmitsEvents(t *testing.T) {
+	testutil.CheckGoroutines(t, "internal/testbed")
 	var buf bytes.Buffer
 	l := eventlog.New(&buf)
 	res, err := RunTrial(Trial{Scheduler: core.CCSAScheduler{}, Seed: 9, Log: l})

@@ -140,7 +140,9 @@ func RunTrial(t Trial) (*TrialResult, error) {
 		return nil, fmt.Errorf("testbed: scheduler %s produced invalid schedule: %w", t.Scheduler.Name(), err)
 	}
 
-	rep, err := coord.ExecuteSchedule(reported, sched)
+	// The trial's scheduler doubles as the rescheduler for coalitions
+	// broken by agent failure; with healthy agents this is a no-op.
+	rep, err := coord.ExecuteScheduleWith(reported, sched, t.Scheduler)
 	if err != nil {
 		return nil, err
 	}
