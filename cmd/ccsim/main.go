@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiment"
 )
@@ -34,6 +36,8 @@ func run(args []string, out io.Writer) error {
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		workers = fs.Int("workers", 0, "max concurrent experiment cells (0 = all CPU cores); output is identical for every value")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +55,26 @@ func run(args []string, out io.Writer) error {
 		}
 	})
 
+	// Profile paths are opened up front so a bad path fails before any
+	// experiment work, not after minutes of simulation.
+	var cpuFile, memFile *os.File
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+		defer cpuFile.Close()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		memFile = f
+		defer memFile.Close()
+	}
+
 	if *list {
 		for _, e := range experiment.Registry() {
 			fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
@@ -67,6 +91,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		exps = []experiment.Experiment{e}
+	}
+
+	if cpuFile != nil {
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers}
@@ -89,6 +120,13 @@ func run(args []string, out io.Writer) error {
 			for _, n := range res.Notes {
 				fmt.Fprintf(out, "  » %s\n", n)
 			}
+		}
+	}
+
+	if memFile != nil {
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
 	return nil

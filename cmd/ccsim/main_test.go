@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -87,6 +89,40 @@ func TestSeedZeroIsExplicit(t *testing.T) {
 	zero := runOutput(t, append([]string{"-seed", "0"}, base...)...)
 	if zero == def {
 		t.Error("-seed 0 produced the default-seed output; the explicit zero seed was swallowed")
+	}
+}
+
+// TestProfileFlags runs a quick experiment with -cpuprofile and
+// -memprofile and checks both files exist and are non-empty pprof
+// payloads; a bad path must fail up front.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	runOutput(t, "-experiment", "table1", "-quick", "-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestProfileFlagBadPathFailsUpFront(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-experiment", "table1", "-quick",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")}, &buf)
+	if err == nil {
+		t.Fatal("unwritable -cpuprofile path should error")
+	}
+	if !strings.Contains(err.Error(), "cpuprofile") {
+		t.Errorf("error %q does not mention the flag", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("experiment ran despite bad profile path:\n%s", buf.String())
 	}
 }
 

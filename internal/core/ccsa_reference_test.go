@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/submodular"
+)
+
+// This file preserves the pre-fast-path CCSA verbatim — full rescan of
+// every charger each round, Set.Elems decoding in the SFM oracle, and the
+// O(n²) prefix oracle whose comparator recomputed weights per comparison —
+// as the reference for the equivalence property tests. The optimized CCSA
+// must return the same schedule on every instance; total cost is
+// recomputed from the schedule, so schedule equality implies bit-identical
+// costs everywhere downstream.
+
+func referenceCCSA(cm *CostModel, opts CCSAOptions) (*CCSAResult, error) {
+	n := cm.NumDevices()
+	uncovered := make([]int, n)
+	for i := range uncovered {
+		uncovered[i] = i
+	}
+
+	res := &CCSAResult{Schedule: &Schedule{}}
+	for len(uncovered) > 0 {
+		var (
+			bestRatio = math.Inf(1)
+			bestSet   []int
+			bestJ     = -1
+		)
+		for j := 0; j < cm.NumChargers(); j++ {
+			set, ratio, err := refMinRatioCoalition(cm, j, uncovered, opts)
+			if err != nil {
+				return nil, fmt.Errorf("ccsa: charger %d oracle: %w", j, err)
+			}
+			res.OracleCalls++
+			if ratio < bestRatio {
+				bestRatio, bestSet, bestJ = ratio, set, j
+			}
+		}
+		if bestJ < 0 || len(bestSet) == 0 {
+			return nil, fmt.Errorf("ccsa: no coalition found for %d uncovered devices", len(uncovered))
+		}
+		sort.Ints(bestSet)
+		res.Schedule.Coalitions = append(res.Schedule.Coalitions,
+			Coalition{Charger: bestJ, Members: bestSet})
+		res.Rounds++
+		uncovered = removeAll(uncovered, bestSet)
+	}
+	if !cm.HasCapacity() {
+		res.Schedule.MergeSameCharger()
+	}
+	return res, nil
+}
+
+func refMinRatioCoalition(cm *CostModel, j int, uncovered []int, opts CCSAOptions) ([]int, float64, error) {
+	useSFM := false
+	switch opts.Oracle {
+	case SFMOracle:
+		if len(uncovered) > 64 {
+			return nil, 0, fmt.Errorf("SFM oracle limited to 64 devices, got %d", len(uncovered))
+		}
+		if cm.HasCapacity() {
+			return nil, 0, fmt.Errorf("SFM oracle does not support session capacities (the constraint breaks submodularity); use PrefixOracle")
+		}
+		useSFM = true
+	case PrefixOracle:
+		useSFM = false
+	default:
+		useSFM = len(uncovered) <= 64 && !cm.HasCapacity()
+	}
+	if useSFM {
+		return refSFMOracle(cm, j, uncovered, opts.SFM)
+	}
+	set, ratio := refPrefixOracle(cm, j, uncovered)
+	return set, ratio, nil
+}
+
+func refSFMOracle(cm *CostModel, j int, uncovered []int, sfmOpts submodular.Options) ([]int, float64, error) {
+	f := submodular.FuncOf(len(uncovered), func(s submodular.Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		members := make([]int, 0, s.Card())
+		for _, e := range s.Elems() {
+			members = append(members, uncovered[e])
+		}
+		return cm.SessionCost(members, j)
+	})
+	set, ratio, err := submodular.MinimizeRatio(f, sfmOpts)
+	if err != nil {
+		return nil, 0, err
+	}
+	members := make([]int, 0, set.Card())
+	for _, e := range set.Elems() {
+		members = append(members, uncovered[e])
+	}
+	return members, ratio, nil
+}
+
+func refPrefixOracle(cm *CostModel, j int, uncovered []int) ([]int, float64) {
+	in := cm.Instance()
+	ch := in.Chargers[j]
+	vol := cm.Purchased(uncovered, j)
+	rate := 0.0
+	if vol > 0 {
+		rate = ch.Tariff.Price(vol) / vol
+	}
+	order := make([]int, 0, len(uncovered))
+	for _, i := range uncovered {
+		if cm.Feasible([]int{i}, j) {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa := cm.MovingCost(order[a], j) + rate*in.Devices[order[a]].Demand/ch.Efficiency
+		wb := cm.MovingCost(order[b], j) + rate*in.Devices[order[b]].Demand/ch.Efficiency
+		return wa < wb
+	})
+	var (
+		bestK     = 0
+		bestRatio = math.Inf(1)
+	)
+	for k := 1; k <= len(order); k++ {
+		if !cm.Feasible(order[:k], j) {
+			break
+		}
+		ratio := cm.SessionCost(order[:k], j) / float64(k)
+		if ratio < bestRatio {
+			bestRatio, bestK = ratio, k
+		}
+	}
+	return append([]int(nil), order[:bestK]...), bestRatio
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// capacitatedRandInstance is randInstance with a session capacity on every
+// charger, generous enough that any single device fits (largest possible
+// purchase is 350/0.6 ≈ 583 J) but tight enough to force splitting on
+// bigger coalitions.
+func capacitatedRandInstance(r *rand.Rand, n, m int) *Instance {
+	in := randInstance(r, n, m)
+	for j := range in.Chargers {
+		in.Chargers[j].Capacity = 600 + r.Float64()*800
+	}
+	return in
+}
+
+func schedulesEqual(a, b *Schedule) bool {
+	if len(a.Coalitions) != len(b.Coalitions) {
+		return false
+	}
+	for k := range a.Coalitions {
+		ca, cb := a.Coalitions[k], b.Coalitions[k]
+		if ca.Charger != cb.Charger || len(ca.Members) != len(cb.Members) {
+			return false
+		}
+		for i := range ca.Members {
+			if ca.Members[i] != cb.Members[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCCSAMatchesReferenceFastPath is the equivalence referee for the CCSA
+// fast path (lazy greedy + incremental prefix oracle): on seeded random
+// instances — linear and concave tariffs, with and without session
+// capacities — every oracle mode must reproduce the preserved
+// pre-optimization CCSA's schedule exactly, with the same round count and
+// no more oracle calls.
+func TestCCSAMatchesReferenceFastPath(t *testing.T) {
+	r := rand.New(rand.NewSource(909))
+	var lazyCalls, eagerCalls int
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(24)
+		m := 1 + r.Intn(6)
+		capacitated := trial%2 == 1
+		var in *Instance
+		if capacitated {
+			in = capacitatedRandInstance(r, n, m)
+		} else {
+			in = randInstance(r, n, m)
+		}
+		cm := mustCostModel(t, in)
+
+		oracles := []OracleKind{AutoOracle, PrefixOracle}
+		if !capacitated {
+			oracles = append(oracles, SFMOracle)
+		}
+		for _, oracle := range oracles {
+			opts := CCSAOptions{Oracle: oracle}
+			want, wantErr := referenceCCSA(cm, opts)
+			got, gotErr := CCSA(cm, opts)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("trial %d (n=%d m=%d cap=%v oracle=%d): err %v vs reference %v",
+					trial, n, m, capacitated, oracle, gotErr, wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !schedulesEqual(got.Schedule, want.Schedule) {
+				t.Fatalf("trial %d (n=%d m=%d cap=%v oracle=%d): schedule %v, reference %v",
+					trial, n, m, capacitated, oracle, got.Schedule.Coalitions, want.Schedule.Coalitions)
+			}
+			if gc, wc := cm.TotalCost(got.Schedule), cm.TotalCost(want.Schedule); gc != wc {
+				t.Fatalf("trial %d: total cost %v != reference %v", trial, gc, wc)
+			}
+			if got.Rounds != want.Rounds {
+				t.Errorf("trial %d (oracle=%d): rounds %d != reference %d",
+					trial, oracle, got.Rounds, want.Rounds)
+			}
+			if got.OracleCalls > want.OracleCalls {
+				t.Errorf("trial %d (oracle=%d): oracle calls %d exceed reference %d",
+					trial, oracle, got.OracleCalls, want.OracleCalls)
+			}
+			if oracle == SFMOracle {
+				lazyCalls += got.OracleCalls
+				eagerCalls += want.OracleCalls
+			}
+		}
+	}
+	if lazyCalls >= eagerCalls {
+		t.Errorf("lazy greedy made %d SFM oracle calls, reference full rescan %d; expected strictly fewer in aggregate",
+			lazyCalls, eagerCalls)
+	}
+	t.Logf("SFM oracle calls: lazy %d vs eager %d (%.1f× fewer)",
+		lazyCalls, eagerCalls, float64(eagerCalls)/float64(lazyCalls))
+}
+
+// TestCCSAWorkersDeterministic pins the parallel-scan contract: any worker
+// count yields the schedule and diagnostics of the serial scan, because
+// oracle results land in pre-indexed per-charger slots and the argmin is
+// taken in charger order.
+func TestCCSAWorkersDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(21)
+		m := 2 + r.Intn(5)
+		in := randInstance(r, n, m)
+		if trial%3 == 2 {
+			for j := range in.Chargers {
+				in.Chargers[j].Capacity = 600 + r.Float64()*800
+			}
+		}
+		cm := mustCostModel(t, in)
+		serial, err := CCSA(cm, CCSAOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			par, err := CCSA(cm, CCSAOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !schedulesEqual(par.Schedule, serial.Schedule) {
+				t.Fatalf("trial %d: Workers=%d schedule %v diverged from serial %v",
+					trial, workers, par.Schedule.Coalitions, serial.Schedule.Coalitions)
+			}
+			if par.Rounds != serial.Rounds || par.OracleCalls != serial.OracleCalls {
+				t.Errorf("trial %d: Workers=%d diagnostics (%d,%d) != serial (%d,%d)",
+					trial, workers, par.Rounds, par.OracleCalls, serial.Rounds, serial.OracleCalls)
+			}
+		}
+	}
+}
+
+// TestCCSALazyReusesCommittedCharger guards the regression where a
+// committed charger's bound was invalidated instead of kept: a two-charger
+// instance where the same charger should win consecutive rounds must still
+// match the reference.
+func TestCCSALazyReusesCommittedCharger(t *testing.T) {
+	r := rand.New(rand.NewSource(1102))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(r, 12, 2)
+		// Make charger 0 dominant: free energy tariff relative to charger 1.
+		in.Chargers[0].Fee = 0.5
+		in.Chargers[1].Fee = 30
+		cm := mustCostModel(t, in)
+		opts := CCSAOptions{Oracle: SFMOracle}
+		want, err := referenceCCSA(cm, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CCSA(cm, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !schedulesEqual(got.Schedule, want.Schedule) {
+			t.Fatalf("trial %d: schedule %v, reference %v",
+				trial, got.Schedule.Coalitions, want.Schedule.Coalitions)
+		}
+	}
+}
+
+// BenchmarkCCSASolve is the headline CCSA micro-benchmark: n=20 devices on
+// the exact SFM oracle path, where the memoized solver and the lazy greedy
+// both apply. Compare against BenchmarkCCSAReference for the preserved
+// pre-optimization numbers.
+func BenchmarkCCSASolve(b *testing.B) {
+	cm := benchModel(b, 20, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CCSA(cm, CCSAOptions{Oracle: SFMOracle}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCCSAReference runs the preserved pre-fast-path CCSA on the same
+// workload so the speedup stays visible in every bench run.
+func BenchmarkCCSAReference(b *testing.B) {
+	cm := benchModel(b, 20, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := referenceCCSA(cm, CCSAOptions{Oracle: SFMOracle}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCCSGASolve measures the game-theoretic solver at fig-7 scale
+// (n=100): its per-switch share queries are O(1) via slot aggregates, so
+// this pins the whole-solve cost rather than the oracle stack.
+func BenchmarkCCSGASolve(b *testing.B) {
+	cm := benchModel(b, 100, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CCSGA(cm, CCSGAOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 )
 
 // MaxOptimalDevices bounds the exact solver: the set-partition dynamic
@@ -32,15 +33,43 @@ func Optimal(cm *CostModel) (*Schedule, error) {
 	}
 
 	// groupCost[mask] = min over chargers of the session cost of mask;
-	// groupCharger[mask] = the argmin.
+	// groupCharger[mask] = the argmin, smallest charger index on ties.
 	groupCost := make([]float64, size)
 	groupCharger := make([]int, size)
 	for mask := 1; mask < size; mask++ {
 		groupCost[mask] = math.Inf(1)
-		groupCharger[mask] = -1
+		groupCharger[mask] = m
 	}
+	// Chargers are processed cheapest-looking first (by full-set session
+	// cost) so the Fee+moveSum lower bound below prunes most tariff
+	// evaluations; the lexicographic (cost, charger) update makes the
+	// result independent of processing order, so this is purely a
+	// pruning heuristic.
+	chOrder := make([]int, m)
+	fullCost := make([]float64, m)
+	slope := make([]float64, m)
+	for j := range chOrder {
+		chOrder[j] = j
+		ch := in.Chargers[j]
+		full := demandSum[size-1] / ch.Efficiency
+		p := ch.Tariff.Price(full)
+		fullCost[j] = ch.Fee + p
+		if full > 0 {
+			// Validated tariffs are concave, nondecreasing, and zero at
+			// zero, so Price(e) ≥ (e/E)·Price(E) for e ≤ E. The 1e-9
+			// shave absorbs rounding in the chord slope, keeping the
+			// prune below strictly conservative.
+			slope[j] = p / full * (1 - 1e-9)
+		}
+	}
+	sort.Slice(chOrder, func(a, b int) bool {
+		if fullCost[chOrder[a]] != fullCost[chOrder[b]] {
+			return fullCost[chOrder[a]] < fullCost[chOrder[b]]
+		}
+		return chOrder[a] < chOrder[b]
+	})
 	moveSum := make([]float64, size)
-	for j := 0; j < m; j++ {
+	for _, j := range chOrder {
 		ch := in.Chargers[j]
 		moveSum[0] = 0
 		for mask := 1; mask < size; mask++ {
@@ -51,8 +80,16 @@ func Optimal(cm *CostModel) (*Schedule, error) {
 			if ch.Capacity > 0 && purchased > ch.Capacity*(1+1e-12) {
 				continue // session capacity exceeded
 			}
+			if ch.Fee+slope[j]*purchased+moveSum[mask] > groupCost[mask] {
+				// The chord lower bound cannot beat the incumbent — and
+				// on an exact tie the bound does not prune, keeping the
+				// smallest-index tie-break intact. Skipping the tariff
+				// call here is the big win: math.Pow dominates this
+				// sweep for power-law tariffs.
+				continue
+			}
 			cost := ch.Fee + ch.Tariff.Price(purchased) + moveSum[mask]
-			if cost < groupCost[mask] {
+			if cost < groupCost[mask] || (cost == groupCost[mask] && j < groupCharger[mask]) {
 				groupCost[mask] = cost
 				groupCharger[mask] = j
 			}

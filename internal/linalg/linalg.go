@@ -17,6 +17,37 @@ var ErrSingular = errors.New("linalg: singular matrix")
 // pivoting. A and b are not modified. It returns ErrSingular when a pivot
 // underflows.
 func Solve(a [][]float64, b []float64) ([]float64, error) {
+	var w Workspace
+	return w.Solve(a, b)
+}
+
+// Workspace holds the augmented-matrix and solution buffers Solve needs,
+// so repeated solves (the Fujishige–Wolfe minor cycles) allocate nothing
+// after warm-up. The zero value is ready to use; a Workspace is not safe
+// for concurrent use.
+type Workspace struct {
+	rows    [][]float64
+	backing []float64
+	x       []float64
+}
+
+// Grow pre-sizes w's buffers for systems of dimension up to n, so later
+// Solve calls at or below that size allocate nothing.
+func (w *Workspace) Grow(n int) {
+	if len(w.backing) < n*(n+1) {
+		w.backing = make([]float64, n*(n+1))
+	}
+	if len(w.rows) < n {
+		w.rows = make([][]float64, n)
+	}
+	if len(w.x) < n {
+		w.x = make([]float64, n)
+	}
+}
+
+// Solve is Solve with the scratch buffers taken from w. The returned
+// slice aliases w and is only valid until the next call on w.
+func (w *Workspace) Solve(a [][]float64, b []float64) ([]float64, error) {
 	n := len(a)
 	if n == 0 {
 		return nil, errors.New("linalg: empty system")
@@ -25,12 +56,18 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d vs %d", n, len(a[0]), len(b))
 	}
 	// Work on an augmented copy.
-	m := make([][]float64, n)
+	if len(w.backing) < n*(n+1) {
+		w.backing = make([]float64, n*(n+1))
+	}
+	if len(w.rows) < n {
+		w.rows = make([][]float64, n)
+	}
+	m := w.rows[:n]
 	for i := range m {
 		if len(a[i]) != n {
 			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
 		}
-		m[i] = make([]float64, n+1)
+		m[i] = w.backing[i*(n+1) : (i+1)*(n+1)]
 		copy(m[i], a[i])
 		m[i][n] = b[i]
 	}
@@ -60,7 +97,10 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		}
 	}
 	// Back substitution.
-	x := make([]float64, n)
+	if len(w.x) < n {
+		w.x = make([]float64, n)
+	}
+	x := w.x[:n]
 	for i := n - 1; i >= 0; i-- {
 		sum := m[i][n]
 		for c := i + 1; c < n; c++ {

@@ -1,0 +1,90 @@
+// Package par provides the bounded worker pool shared by the experiment
+// harness and the solver fast paths. It lives below both so that
+// internal/core can parallelize oracle evaluations without importing
+// internal/experiment (which imports core).
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map executes fn(ctx, i) for every i in [0, n) on a bounded worker pool
+// and blocks until every started call returns.
+//
+// workers <= 0 means runtime.GOMAXPROCS(0). Items are claimed in index
+// order from a shared counter, so with workers == 1 the execution is the
+// plain serial loop. Callers write each item's output into a pre-indexed
+// slot (results[i]); because distinct items touch distinct slots, no
+// locking is needed and the assembled output is byte-identical to a
+// serial run regardless of worker count or scheduling order.
+//
+// The first error reported by any item cancels the pool's context,
+// stops idle workers from claiming further items, and is the error
+// returned — later failures are discarded, never joined. If ctx is
+// cancelled externally, Map stops claiming items and returns ctx's
+// error.
+func Map(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		once     sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	// No item failed; surface an external cancellation that arrived
+	// mid-run (the pool's own cancel only fires on item errors or exit).
+	return parent.Err()
+}

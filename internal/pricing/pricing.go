@@ -173,23 +173,28 @@ func Validate(tariff Tariff, maxEnergy float64, samples int) error {
 		grid[i] = maxEnergy * float64(i+1) / float64(samples)
 	}
 	sort.Float64s(grid)
+	// Each grid price is evaluated exactly once; the monotonicity and
+	// concavity checks below read the cached values (tariffs are pure, and
+	// Price can be expensive — e.g. math.Pow for power-law tariffs).
+	price := make([]float64, samples)
+	for i, e := range grid {
+		price[i] = tariff.Price(e)
+	}
 	const eps = 1e-9
 	prev := 0.0
-	for i, e := range grid {
-		p := tariff.Price(e)
+	for i := range grid {
+		p := price[i]
 		if p < prev-eps {
-			return fmt.Errorf("pricing: %s decreasing at E=%v", tariff.Name(), e)
+			return fmt.Errorf("pricing: %s decreasing at E=%v", tariff.Name(), grid[i])
 		}
 		prev = p
 		if i >= 2 {
 			// Midpoint concavity on consecutive triples:
 			// f((a+c)/2) >= (f(a)+f(c))/2 must hold, and grid points are
 			// evenly spaced so grid[i-1] is the midpoint of grid[i-2],grid[i].
-			a, b, c := grid[i-2], grid[i-1], grid[i]
-			fa, fb, fc := tariff.Price(a), tariff.Price(b), tariff.Price(c)
-			_ = b
+			fa, fb, fc := price[i-2], price[i-1], price[i]
 			if fb < (fa+fc)/2-eps*(1+math.Abs(fb)) {
-				return fmt.Errorf("pricing: %s not concave near E=%v", tariff.Name(), b)
+				return fmt.Errorf("pricing: %s not concave near E=%v", tariff.Name(), grid[i-1])
 			}
 		}
 	}

@@ -1,0 +1,139 @@
+package submodular
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// ccsaShaped builds a session-cost-style function: fixed fee + concave
+// tariff of the members' demand sum + positive modular moving costs —
+// exactly the shape CCSA's per-charger oracles minimize, satisfying the
+// MinimizeRatio contract (f(∅) = 0, f ≥ 0).
+func ccsaShaped(r *rand.Rand, n int) Function {
+	move := make([]float64, n)
+	demand := make([]float64, n)
+	for i := range move {
+		move[i] = r.Float64() * 12
+		demand[i] = 50 + r.Float64()*300
+	}
+	fee := 3 + r.Float64()*15
+	coeff := 0.1 + r.Float64()*0.3
+	exp := 0.7 + r.Float64()*0.3
+	return FuncOf(n, func(s Set) float64 {
+		if s.Empty() {
+			return 0
+		}
+		var dem, mov float64
+		for t := uint64(s); t != 0; t &= t - 1 {
+			e := bits.TrailingZeros64(t)
+			dem += demand[e]
+			mov += move[e]
+		}
+		return fee + coeff*math.Pow(dem, exp) + mov
+	})
+}
+
+// TestMinimizeMatchesReferenceBitExact is the equivalence referee for the
+// fast path: the memoized, workspace-reusing solver must return the same
+// set and the same float64 bits as the preserved pre-optimization solver
+// on every instance — CCSA schedules and the golden renderings are
+// downstream of these exact values.
+func TestMinimizeMatchesReferenceBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(24)
+		var f Function
+		switch trial % 3 {
+		case 0:
+			f = randSubmodular(r, n)
+		case 1:
+			f = randCutMinusModular(r, n)
+		default:
+			f = ccsaShaped(r, n)
+		}
+		wantSet, wantVal, wantErr := referenceMinimize(f, Options{})
+		gotSet, gotVal, gotErr := Minimize(f, Options{})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d (n=%d): err %v vs reference %v", trial, n, gotErr, wantErr)
+		}
+		if gotSet != wantSet || gotVal != wantVal {
+			t.Fatalf("trial %d (n=%d): Minimize = %v/%v, reference = %v/%v",
+				trial, n, gotSet, gotVal, wantSet, wantVal)
+		}
+	}
+}
+
+func TestMinimizeRatioMatchesReferenceBitExact(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(24)
+		f := ccsaShaped(r, n)
+		wantSet, wantRatio, wantErr := referenceMinimizeRatio(f, Options{})
+		gotSet, gotRatio, gotErr := MinimizeRatio(f, Options{})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d (n=%d): err %v vs reference %v", trial, n, gotErr, wantErr)
+		}
+		if gotSet != wantSet || gotRatio != wantRatio {
+			t.Fatalf("trial %d (n=%d): MinimizeRatio = %v/%v, reference = %v/%v",
+				trial, n, gotSet, gotRatio, wantSet, wantRatio)
+		}
+	}
+}
+
+// TestMinimizeRatioWorkspaceReuseIsClean runs two ratio solves back to
+// back on functions with different optima; stale workspace state from the
+// first must not leak into the second (each call allocates its own, but
+// this pins the reclaim discipline if that ever changes).
+func TestMinimizeRatioWorkspaceReuseIsClean(t *testing.T) {
+	r := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + r.Intn(12)
+		f1 := ccsaShaped(r, n)
+		f2 := ccsaShaped(r, n)
+		s1a, r1a, _ := MinimizeRatio(f1, Options{})
+		s2, r2, _ := MinimizeRatio(f2, Options{})
+		s1b, r1b, _ := MinimizeRatio(f1, Options{})
+		if s1a != s1b || r1a != r1b {
+			t.Fatalf("trial %d: f1 solve not reproducible after interleaved solve: %v/%v vs %v/%v",
+				trial, s1a, r1a, s1b, r1b)
+		}
+		wantSet, wantRatio, _ := referenceMinimizeRatio(f2, Options{})
+		if s2 != wantSet || r2 != wantRatio {
+			t.Fatalf("trial %d: f2 diverged from reference: %v/%v vs %v/%v",
+				trial, s2, r2, wantSet, wantRatio)
+		}
+	}
+}
+
+// BenchmarkMinNormPoint measures one full Minimize on a CCSA-shaped n=24
+// function: the workspace + memo fast path's headline micro-benchmark
+// (compare allocs/op against the reference solver's per-iteration
+// allocations).
+func BenchmarkMinNormPoint(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	f := ccsaShaped(r, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Minimize(f, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinNormPointReference is the preserved pre-optimization solver
+// on the same workload, kept so the speedup and alloc reduction stay
+// visible in every bench run.
+func BenchmarkMinNormPointReference(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	f := ccsaShaped(r, 24)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := referenceMinimize(f, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,6 +12,14 @@ import (
 // strictly decreasing and finite, so the loop terminates at the optimal
 // ratio (up to solver tolerance).
 //
+// One Memo on f is threaded through every Dinkelbach step, the singleton
+// sweep, and the final polish, so each distinct set is evaluated at most
+// once for the whole call; each step's λ·|S| modular shift is applied
+// outside the cache. One solver workspace is likewise shared across
+// steps, so the Dinkelbach loop performs no per-iteration allocations.
+// Both reuses are value-preserving: results are bit-identical to the
+// unmemoized, allocating solver.
+//
 // f must be submodular with f(∅) = 0 and f(S) ≥ 0; CCSA's per-charger
 // session-cost functions satisfy both.
 func MinimizeRatio(f Function, opts Options) (Set, float64, error) {
@@ -21,35 +29,40 @@ func MinimizeRatio(f Function, opts Options) (Set, float64, error) {
 		return 0, 0, fmt.Errorf("submodular: ratio ground set size %d outside [1,64]", n)
 	}
 
+	mf := NewMemo(f)
+
 	// Start from the best singleton: a feasible ratio upper bound.
-	best, bestRatio := SetOf(0), f.Eval(SetOf(0))
+	best, bestRatio := SetOf(0), mf.Eval(SetOf(0))
 	for i := 1; i < n; i++ {
-		if v := f.Eval(SetOf(i)); v < bestRatio {
+		if v := mf.Eval(SetOf(i)); v < bestRatio {
 			best, bestRatio = SetOf(i), v
 		}
 	}
 
+	ws := newWorkspace(n)
+	base := mf.Eval(EmptySet) // 0 by contract; subtracted to mirror Minimize exactly
 	scale := math.Max(math.Abs(bestRatio), 1)
 	for iter := 0; iter < o.MaxIter; iter++ {
 		lambda := bestRatio
-		gl := FuncOf(n, func(s Set) float64 {
-			return f.Eval(s) - lambda*float64(s.Card())
-		})
-		s, v, err := Minimize(gl, o)
+		g := func(s Set) float64 {
+			return mf.Eval(s) - lambda*float64(s.Card()) - base
+		}
+		s, nv, err := minimizeNormalized(g, n, o, ws)
 		if err != nil {
 			return 0, 0, fmt.Errorf("dinkelbach step %d: %w", iter, err)
 		}
+		v := nv + base
 		if s.Empty() || v >= -o.Tol*scale {
 			break // no nonempty set beats the current ratio
 		}
-		r := f.Eval(s) / float64(s.Card())
+		r := mf.Eval(s) / float64(s.Card())
 		if r >= bestRatio-o.Tol*scale {
 			break // numerical stall
 		}
 		best, bestRatio = s, r
 	}
 
-	best, bestRatio = polishRatio(f, best, bestRatio)
+	best, bestRatio = polishRatio(mf, best, bestRatio)
 	return best, bestRatio, nil
 }
 
