@@ -9,6 +9,11 @@
 //	ccsd -listen 127.0.0.1:7465 -devices 2 -chargers 1 -scheduler CCSA
 //	ccsnode -connect 127.0.0.1:7465 -role charger -id c1 -x 50 -y 50 -fee 5
 //	ccsnode -connect 127.0.0.1:7465 -role device -id d1 -x 10 -y 10 -demand 120
+//
+// With -serve it instead answers newline-delimited JSON solve requests
+// ({"instance": {...}, "scheduler": "CCSGA"}) over the same listener,
+// memoizing solutions in a fingerprint-keyed LRU (see -cache-size and
+// -cache-off).
 package main
 
 import (
@@ -43,6 +48,9 @@ func run(args []string, out io.Writer) error {
 		rpcTimeout = fs.Duration("rpc-timeout", testbed.DefaultRPCTimeout, "per-RPC deadline on agent connections")
 		maxRetries = fs.Int("max-retries", testbed.DefaultMaxRetries, "extra attempts for idempotent agent RPCs")
 		minQuorum  = fs.Int("min-quorum", 0, "proceed with a partial run if at least this many devices are responsive (0 = require all)")
+		serve      = fs.Bool("serve", false, "run as a stateless solve service: newline-delimited JSON requests on -listen instead of the agent testbed")
+		cacheSize  = fs.Int("cache-size", 1024, "solution cache capacity in entries for -serve mode")
+		cacheOff   = fs.Bool("cache-off", false, "disable the solution cache in -serve mode")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -63,18 +71,12 @@ func run(args []string, out io.Writer) error {
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
-	var sched core.Scheduler
-	switch *schedName {
-	case "NONCOOP":
-		sched = core.NoncoopScheduler{}
-	case "CCSGA":
-		sched = core.CCSGAScheduler{}
-	case "CCSA":
-		sched = core.CCSAScheduler{}
-	case "OPT":
-		sched = core.OptimalScheduler{}
-	default:
-		return fmt.Errorf("unknown scheduler %q", *schedName)
+	sched, err := schedulerByName(*schedName)
+	if err != nil {
+		return err
+	}
+	if *serve {
+		return runServe(*listen, *cacheSize, *cacheOff, out)
 	}
 
 	cfg := testbed.Config{

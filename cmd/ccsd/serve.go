@@ -1,0 +1,307 @@
+// This file implements ccsd's -serve mode: a stateless solve service.
+// Clients send newline-delimited JSON requests carrying an instance (the
+// cmd/ccsgen wire format) and a scheduler name, and receive the solved
+// schedule and its cost. Repeated instances — the common case when a
+// fleet of coordinators polls with unchanged populations — are answered
+// from a fingerprint-keyed LRU cache, and concurrent duplicate requests
+// collapse into a single solve.
+
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/instcache"
+)
+
+// schedulerByName resolves the table label used by every ccsd mode.
+func schedulerByName(name string) (core.Scheduler, error) {
+	switch name {
+	case "NONCOOP":
+		return core.NoncoopScheduler{}, nil
+	case "CCSGA":
+		return core.CCSGAScheduler{}, nil
+	case "CCSA":
+		return core.CCSAScheduler{}, nil
+	case "OPT":
+		return core.OptimalScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+// solveRequest is one line from a client: either an instance to solve or a
+// stats query.
+type solveRequest struct {
+	// Instance is a cmd/ccsgen-format instance JSON object.
+	Instance json.RawMessage `json:"instance,omitempty"`
+	// Scheduler names the algorithm (NONCOOP | CCSGA | CCSA | OPT);
+	// empty means CCSA.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Stats requests the cache counters instead of a solve.
+	Stats bool `json:"stats,omitempty"`
+}
+
+// coalitionJSON reports one charging session by agent IDs.
+type coalitionJSON struct {
+	Charger string   `json:"charger"`
+	Devices []string `json:"devices"`
+}
+
+// serviceStats reports the service counters: both cache tiers plus the
+// request totals.
+type serviceStats struct {
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	// Raw is the byte tier (rendered responses keyed by raw request
+	// hash); Solutions is the canonical-fingerprint solution cache.
+	Raw       instcache.Stats `json:"raw"`
+	Solutions instcache.Stats `json:"solutions"`
+}
+
+// solveResponse is one line back to the client.
+type solveResponse struct {
+	Cost       float64         `json:"cost,omitempty"`
+	Sessions   int             `json:"sessions,omitempty"`
+	Coalitions []coalitionJSON `json:"coalitions,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+	Stats      *serviceStats   `json:"stats,omitempty"`
+	Err        string          `json:"error,omitempty"`
+}
+
+// solveServer handles solve requests; safe for concurrent connections.
+// Caching is two-tier: raw answers rendered responses for byte-identical
+// repeat requests without decoding anything, and cache memoizes solutions
+// under the canonical instance fingerprint (catching re-encoded
+// duplicates and collapsing concurrent solves).
+type solveServer struct {
+	raw      *instcache.ByteCache // nil when caching is disabled
+	cache    *instcache.Cache     // nil when caching is disabled
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// newSolveServer builds a server with LRUs of cacheSize entries per tier;
+// cacheSize 0 disables caching.
+func newSolveServer(cacheSize int) (*solveServer, error) {
+	s := &solveServer{}
+	if cacheSize > 0 {
+		c, err := instcache.New(cacheSize)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := instcache.NewBytes(cacheSize)
+		if err != nil {
+			return nil, err
+		}
+		s.cache, s.raw = c, raw
+	} else if cacheSize < 0 {
+		return nil, fmt.Errorf("cache size %d < 0", cacheSize)
+	}
+	return s, nil
+}
+
+// handle answers one request; it never panics the connection — every
+// failure comes back as a response with Err set.
+func (s *solveServer) handle(req solveRequest) solveResponse {
+	s.requests.Add(1)
+	resp := s.answer(req)
+	if resp.Err != "" {
+		s.failures.Add(1)
+	}
+	return resp
+}
+
+func (s *solveServer) answer(req solveRequest) solveResponse {
+	if req.Stats {
+		st := &serviceStats{Requests: s.requests.Load(), Failures: s.failures.Load()}
+		if s.cache != nil {
+			st.Raw = s.raw.Stats()
+			st.Solutions = s.cache.Stats()
+		}
+		return solveResponse{Stats: st}
+	}
+	if len(req.Instance) == 0 {
+		return solveResponse{Err: "request has neither an instance nor a stats query"}
+	}
+	name := req.Scheduler
+	if name == "" {
+		name = "CCSA"
+	}
+	sched, err := schedulerByName(name)
+	if err != nil {
+		return solveResponse{Err: err.Error()}
+	}
+	in, err := gen.DecodeInstance(req.Instance)
+	if err != nil {
+		return solveResponse{Err: err.Error()}
+	}
+	solve := func() (*core.Schedule, float64, error) {
+		cm, err := core.NewCostModel(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		plan, err := sched.Schedule(cm)
+		if err != nil {
+			return nil, 0, err
+		}
+		return plan, cm.TotalCost(plan), nil
+	}
+	var (
+		plan   *core.Schedule
+		cost   float64
+		cached bool
+	)
+	if s.cache != nil {
+		key, err := instcache.KeyFor(in, name, "")
+		if err != nil {
+			return solveResponse{Err: err.Error()}
+		}
+		plan, cost, cached, err = s.cache.Do(key, solve)
+		if err != nil {
+			return solveResponse{Err: err.Error()}
+		}
+	} else {
+		if plan, cost, err = solve(); err != nil {
+			return solveResponse{Err: err.Error()}
+		}
+	}
+	resp := solveResponse{Cost: cost, Sessions: len(plan.Coalitions), Cached: cached}
+	for _, c := range plan.Coalitions {
+		cj := coalitionJSON{Charger: in.Chargers[c.Charger].ID}
+		for _, i := range c.Members {
+			cj.Devices = append(cj.Devices, in.Devices[i].ID)
+		}
+		resp.Coalitions = append(resp.Coalitions, cj)
+	}
+	return resp
+}
+
+// serveConn speaks the newline-JSON protocol on one connection until the
+// client hangs up or sends garbage the decoder can't frame.
+func (s *solveServer) serveConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024) // instances can be large
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// First tier: a byte-identical repeat request replays its rendered
+		// response with no decoding or solving at all.
+		var sum [32]byte
+		if s.raw != nil {
+			sum = sha256.Sum256(line)
+			if out, ok := s.raw.Get(sum); ok {
+				s.requests.Add(1)
+				if _, err := conn.Write(out); err != nil {
+					return
+				}
+				continue
+			}
+		}
+		var req solveRequest
+		var resp solveResponse
+		if err := json.Unmarshal(line, &req); err != nil {
+			s.requests.Add(1)
+			s.failures.Add(1)
+			resp = solveResponse{Err: "bad request: " + err.Error()}
+		} else {
+			resp = s.handle(req)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		out = append(out, '\n')
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+		// Successful solves replay as cache hits; stats queries and errors
+		// are never byte-cached.
+		if s.raw != nil && resp.Err == "" && resp.Stats == nil {
+			replay := resp
+			replay.Cached = true
+			if rb, err := json.Marshal(replay); err == nil {
+				s.raw.Put(sum, append(rb, '\n'))
+			}
+		}
+	}
+}
+
+// serve accepts connections until the listener closes.
+func (s *solveServer) serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// summary renders the service counters for the shutdown log line.
+func (s *solveServer) summary() string {
+	line := fmt.Sprintf("served %d request(s), %d failed", s.requests.Load(), s.failures.Load())
+	if s.cache == nil {
+		return line + ", cache off"
+	}
+	rs, ss := s.raw.Stats(), s.cache.Stats()
+	return line + fmt.Sprintf(", raw tier %d/%d: %d hit(s), solution tier %d/%d: %d hit(s) (%d collapsed), %d miss(es), %d eviction(s)",
+		rs.Size, rs.Capacity, rs.Hits,
+		ss.Size, ss.Capacity, ss.Hits, ss.Collapsed, ss.Misses, ss.Evictions)
+}
+
+// runServe is the -serve entry point: listen, serve until SIGINT/SIGTERM,
+// then report the counters.
+func runServe(listen string, cacheSize int, cacheOff bool, out io.Writer) error {
+	if cacheOff {
+		cacheSize = 0
+	} else if cacheSize < 1 {
+		return fmt.Errorf("-cache-size must be >= 1 (or use -cache-off), got %d", cacheSize)
+	}
+	srv, err := newSolveServer(cacheSize)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	mode := fmt.Sprintf("cache %d entries", cacheSize)
+	if cacheSize == 0 {
+		mode = "cache off"
+	}
+	fmt.Fprintf(out, "serving solves on %s (%s)\n", l.Addr(), mode)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-sig:
+			_ = l.Close()
+		case <-done:
+		}
+	}()
+	err = srv.serve(l)
+	fmt.Fprintln(out, srv.summary())
+	return err
+}

@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) error {
 		quick   = fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		workers = fs.Int("workers", 0, "max concurrent experiment cells (0 = all CPU cores); output is identical for every value")
+		warm    = fs.Bool("warm-start", false, "switch the online experiment (ext3) to its warm-start study: CCSGA cold vs warm on recurring arrivals")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
@@ -100,7 +101,7 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers}
+	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers, WarmStart: *warm}
 	for i, e := range exps {
 		if i > 0 {
 			fmt.Fprintln(out)

@@ -229,3 +229,52 @@ func TestCapacityUnlimitedBackCompat(t *testing.T) {
 		t.Error("explicit zero capacity changed the optimum")
 	}
 }
+
+// The ESS branch of chargerGame.Share must price a hypothetical join into
+// a full session slot at +Inf — the capacitated counterpart of the PDS
+// branch — both directly and through the seeded dynamics.
+func TestESSShareFullSlotInfeasible(t *testing.T) {
+	in := capacitatedInstance() // "small" holds 250 J; devices need 100 J each
+	cm := mustCostModel(t, in)
+	game, err := newChargerGame(cm, ESS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chargerOf, firstSlot := SessionSlots(cm)
+	// Fill the small charger's first slot with devices a and b (200 of
+	// 250 J); c and d go to the unlimited charger.
+	small, big := firstSlot[0], firstSlot[1]
+	game.reset([]int{small, small, big, big})
+	if sh := game.Share(2, small); !math.IsInf(sh, 1) {
+		t.Errorf("ESS share for joining a full slot = %v, want +Inf", sh)
+	}
+	// The same hypothetical join within capacity is finite.
+	spare := -1
+	for s, j := range chargerOf {
+		if j == 0 && s != small {
+			spare = s
+		}
+	}
+	if spare >= 0 {
+		if sh := game.Share(2, spare); math.IsInf(sh, 1) {
+			t.Error("ESS share for a slot with room = +Inf, want finite")
+		}
+	}
+	// A member of the full slot prices its own (current) slot finitely.
+	if sh := game.Share(0, small); math.IsInf(sh, 1) {
+		t.Errorf("ESS share for the current slot = %v, want finite", sh)
+	}
+
+	// End to end: CCSGA under ESS with capacities must still produce a
+	// capacity-respecting Nash-stable schedule.
+	res, err := CCSGA(cm, CCSGAOptions{Scheme: ESS{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.ValidateCapacity(res.Schedule); err != nil {
+		t.Error(err)
+	}
+	if !res.NashStable {
+		t.Error("ESS capacitated run not Nash stable")
+	}
+}

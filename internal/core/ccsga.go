@@ -26,6 +26,15 @@ type CCSGAOptions struct {
 	// Epsilon is the minimum strict improvement; zero uses the engine
 	// default.
 	Epsilon float64
+	// Init, when non-nil, seeds the switch dynamics with a device→slot
+	// assignment (typically a previous, related solve's equilibrium)
+	// instead of the noncooperative cold start. Slot indices follow
+	// SessionSlots. The seed must assign every device an in-range slot
+	// and respect session capacities; CCSGA rejects it otherwise. A
+	// warm-started run still converges to (and is verified as) a pure
+	// Nash equilibrium — possibly a different one than the cold start
+	// reaches.
+	Init []int
 }
 
 // CCSGAResult carries the schedule plus game diagnostics.
@@ -60,9 +69,17 @@ func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	init, err := game.initialAssignment()
-	if err != nil {
-		return nil, fmt.Errorf("ccsga: %w", err)
+	var init []int
+	if opts.Init != nil {
+		if err := game.validateInit(opts.Init); err != nil {
+			return nil, fmt.Errorf("ccsga: %w", err)
+		}
+		init = opts.Init
+	} else {
+		init, err = game.initialAssignment()
+		if err != nil {
+			return nil, fmt.Errorf("ccsga: %w", err)
+		}
 	}
 	game.reset(init)
 
@@ -129,24 +146,21 @@ type chargerGame struct {
 
 var _ coalition.SocialGame = (*chargerGame)(nil)
 
-func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
-	g := &chargerGame{cm: cm, scheme: scheme}
-	switch scheme.(type) {
-	case PDS:
-		g.pds = true
-	case ESS:
-		g.pds = false
-	default:
-		return nil, fmt.Errorf("ccsga: unsupported sharing scheme %q", scheme.Name())
-	}
+// SessionSlots returns CCSGA's session-slot layout for the instance behind
+// cm: chargerOf maps each slot to its charger index, firstSlot maps each
+// charger to its first slot. Without session capacities every charger has
+// exactly one slot; with capacities a charger gets ⌈total purchase /
+// capacity⌉ slots (at most one per device). Use it to build a
+// CCSGAOptions.Init seed by hand.
+func SessionSlots(cm *CostModel) (chargerOf, firstSlot []int) {
 	in := cm.Instance()
 	var totalDemand float64
 	for _, d := range in.Devices {
 		totalDemand += d.Demand
 	}
-	g.firstSlot = make([]int, len(in.Chargers))
+	firstSlot = make([]int, len(in.Chargers))
 	for j, ch := range in.Chargers {
-		g.firstSlot[j] = len(g.chargerOf)
+		firstSlot[j] = len(chargerOf)
 		slots := 1
 		if ch.Capacity > 0 {
 			need := totalDemand / ch.Efficiency
@@ -159,9 +173,23 @@ func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
 			}
 		}
 		for t := 0; t < slots; t++ {
-			g.chargerOf = append(g.chargerOf, j)
+			chargerOf = append(chargerOf, j)
 		}
 	}
+	return chargerOf, firstSlot
+}
+
+func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
+	g := &chargerGame{cm: cm, scheme: scheme}
+	switch scheme.(type) {
+	case PDS:
+		g.pds = true
+	case ESS:
+		g.pds = false
+	default:
+		return nil, fmt.Errorf("ccsga: unsupported sharing scheme %q", scheme.Name())
+	}
+	g.chargerOf, g.firstSlot = SessionSlots(cm)
 	n := len(g.chargerOf)
 	g.count = make([]int, n)
 	g.purchased = make([]float64, n)
@@ -217,6 +245,31 @@ func (g *chargerGame) initialAssignment() ([]int, error) {
 		}
 	}
 	return init, nil
+}
+
+// validateInit checks a caller-supplied device→slot seed: one in-range
+// slot per device, and per-slot purchases within the slot's session
+// capacity.
+func (g *chargerGame) validateInit(init []int) error {
+	cm := g.cm
+	in := cm.Instance()
+	if len(init) != cm.NumDevices() {
+		return fmt.Errorf("init length %d, want %d devices", len(init), cm.NumDevices())
+	}
+	purchased := make([]float64, len(g.chargerOf))
+	for i, s := range init {
+		if s < 0 || s >= len(g.chargerOf) {
+			return fmt.Errorf("init assigns device %d slot %d of %d", i, s, len(g.chargerOf))
+		}
+		purchased[s] += in.Devices[i].Demand / in.Chargers[g.chargerOf[s]].Efficiency
+	}
+	for s, p := range purchased {
+		if cap := in.Chargers[g.chargerOf[s]].Capacity; cap > 0 && p > cap*(1+1e-12) {
+			return fmt.Errorf("init overfills slot %d (charger %d): %.1f J > %.1f J capacity",
+				s, g.chargerOf[s], p, cap)
+		}
+	}
+	return nil
 }
 
 // schedule converts a device→slot assignment into a Schedule (one

@@ -186,8 +186,9 @@ func (s *Schedule) MergeSameCharger() {
 // CostModel precomputes the quantities cost evaluations need: per-device
 // demands, the device-to-charger moving-cost matrix, and per-device
 // standalone (noncooperative) costs. Build one per Instance and share it
-// across algorithm runs; it is read-only after construction and safe for
-// concurrent use.
+// across algorithm runs; it is safe for concurrent reads. AddDevice and
+// RemoveDevice patch the tables in place for streaming workloads — they
+// must not race with readers, so synchronize mutation externally.
 type CostModel struct {
 	inst *Instance
 	// move[i][j] is device i's travel cost to charger j, $.
@@ -203,33 +204,81 @@ func NewCostModel(in *Instance) (*CostModel, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	n, m := len(in.Devices), len(in.Chargers)
+	n := len(in.Devices)
 	cm := &CostModel{
 		inst:              in,
 		move:              make([][]float64, n),
 		standalone:        make([]float64, n),
 		standaloneCharger: make([]int, n),
 	}
-	for i := range in.Devices {
-		cm.move[i] = make([]float64, m)
-		for j := range in.Chargers {
-			cm.move[i][j] = in.Devices[i].MoveRate * in.Devices[i].Pos.Dist(in.Chargers[j].Pos)
-		}
-	}
-	for i := range in.Devices {
-		best, bestJ := math.Inf(1), -1
-		for j := range in.Chargers {
-			if !cm.Feasible([]int{i}, j) {
-				continue
-			}
-			if c := cm.SessionCost([]int{i}, j); c < best {
-				best, bestJ = c, j
-			}
-		}
-		cm.standalone[i] = best
-		cm.standaloneCharger[i] = bestJ
+	for i, d := range in.Devices {
+		cm.move[i], cm.standalone[i], cm.standaloneCharger[i] = cm.deviceRow(d)
 	}
 	return cm, nil
+}
+
+// deviceRow computes device d's moving-cost row and standalone cost
+// against the model's chargers — the only per-device work NewCostModel
+// does, shared with the incremental mutators. O(m).
+func (cm *CostModel) deviceRow(d Device) (row []float64, standalone float64, standaloneCharger int) {
+	m := len(cm.inst.Chargers)
+	row = make([]float64, m)
+	for j := range cm.inst.Chargers {
+		row[j] = d.MoveRate * d.Pos.Dist(cm.inst.Chargers[j].Pos)
+	}
+	best, bestJ := math.Inf(1), -1
+	for j, c := range cm.inst.Chargers {
+		if c.Capacity > 0 && d.Demand/c.Efficiency > c.Capacity*(1+1e-12) {
+			continue
+		}
+		cost := c.Fee + c.Tariff.Price(d.Demand/c.Efficiency) + row[j]
+		if cost < best {
+			best, bestJ = cost, j
+		}
+	}
+	return row, best, bestJ
+}
+
+// AddDevice appends one device to the model (and its instance), patching
+// the move matrix and standalone rows in O(m) instead of rebuilding the
+// whole model. The device is validated like Instance.Validate would —
+// including that it fits some charger's session capacity — but the
+// chargers and earlier devices, already validated at construction, are
+// not re-checked. The tables are bit-identical to a fresh NewCostModel
+// over the grown instance.
+func (cm *CostModel) AddDevice(d Device) error {
+	if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
+		return fmt.Errorf("core: device %s demand %v invalid", d.ID, d.Demand)
+	}
+	if d.MoveRate < 0 || math.IsNaN(d.MoveRate) {
+		return fmt.Errorf("core: device %s move rate %v invalid", d.ID, d.MoveRate)
+	}
+	row, standalone, standaloneCharger := cm.deviceRow(d)
+	if standaloneCharger < 0 {
+		return fmt.Errorf("core: device %s fits no charger's session capacity", d.ID)
+	}
+	cm.inst.Devices = append(cm.inst.Devices, d)
+	cm.move = append(cm.move, row)
+	cm.standalone = append(cm.standalone, standalone)
+	cm.standaloneCharger = append(cm.standaloneCharger, standaloneCharger)
+	return nil
+}
+
+// RemoveDevice deletes device i from the model (and its instance),
+// preserving the order — and therefore the indices — of the remaining
+// devices. No cost is recomputed: the remaining rows shift down in place.
+// Removing the last device leaves a temporarily empty model, valid only
+// as a staging state between mutations.
+func (cm *CostModel) RemoveDevice(i int) error {
+	n := len(cm.inst.Devices)
+	if i < 0 || i >= n {
+		return fmt.Errorf("core: remove device %d of %d", i, n)
+	}
+	cm.inst.Devices = append(cm.inst.Devices[:i], cm.inst.Devices[i+1:]...)
+	cm.move = append(cm.move[:i], cm.move[i+1:]...)
+	cm.standalone = append(cm.standalone[:i], cm.standalone[i+1:]...)
+	cm.standaloneCharger = append(cm.standaloneCharger[:i], cm.standaloneCharger[i+1:]...)
+	return nil
 }
 
 // HasCapacity reports whether any charger constrains session energy.

@@ -42,12 +42,25 @@ func (s CCSAScheduler) Schedule(cm *CostModel) (*Schedule, error) {
 	return res.Schedule, nil
 }
 
+// WarmScheduler is a Scheduler that can carry an equilibrium across
+// related solves through a WarmStart, returning full solver diagnostics.
+type WarmScheduler interface {
+	Scheduler
+	// ScheduleWarm solves like Schedule, seeding the dynamics from ws
+	// when it is non-nil (and recording the new equilibrium back into
+	// it). A nil ws is exactly the cold path plus diagnostics.
+	ScheduleWarm(cm *CostModel, ws *WarmStart) (*CCSGAResult, error)
+}
+
 // CCSGAScheduler wraps CCSGA.
 type CCSGAScheduler struct {
 	Opts CCSGAOptions
 }
 
-var _ Scheduler = CCSGAScheduler{}
+var (
+	_ Scheduler     = CCSGAScheduler{}
+	_ WarmScheduler = CCSGAScheduler{}
+)
 
 // Name implements Scheduler.
 func (CCSGAScheduler) Name() string { return "CCSGA" }
@@ -59,6 +72,27 @@ func (s CCSGAScheduler) Schedule(cm *CostModel) (*Schedule, error) {
 		return nil, err
 	}
 	return res.Schedule, nil
+}
+
+// ScheduleWarm implements WarmScheduler. Any Opts.Init is overridden by
+// the carrier's seed when ws is non-nil.
+func (s CCSGAScheduler) ScheduleWarm(cm *CostModel, ws *WarmStart) (*CCSGAResult, error) {
+	opts := s.Opts
+	if ws != nil {
+		init, err := ws.Seed(cm)
+		if err != nil {
+			return nil, err
+		}
+		opts.Init = init
+	}
+	res, err := CCSGA(cm, opts)
+	if err != nil {
+		return nil, err
+	}
+	if ws != nil {
+		ws.Record(cm.Instance(), res.Schedule)
+	}
+	return res, nil
 }
 
 // OptimalScheduler wraps Optimal; it fails on instances larger than

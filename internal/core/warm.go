@@ -1,0 +1,127 @@
+package core
+
+import "sort"
+
+// WarmStart carries CCSGA equilibria across related solves. The caller
+// records each solve's outcome; Seed then builds a CCSGAOptions.Init for
+// the next (possibly perturbed) instance by mapping every device the
+// carrier remembers — matched by device ID — onto the charger it settled
+// at last time, while unknown devices start standalone exactly like the
+// cold path. Coalition-formation dynamics started near an equilibrium
+// converge in far fewer passes than from the noncooperative assignment,
+// which is the entire point: across a stream of related rounds the
+// equilibrium survives and only the perturbation is re-solved.
+//
+// A WarmStart is not safe for concurrent use; guard it externally when
+// solves overlap.
+type WarmStart struct {
+	charger map[string]int // device ID → charger index at last equilibrium
+}
+
+// NewWarmStart returns an empty carrier.
+func NewWarmStart() *WarmStart {
+	return &WarmStart{charger: make(map[string]int)}
+}
+
+// Len reports how many devices the carrier remembers.
+func (w *WarmStart) Len() int { return len(w.charger) }
+
+// Record stores the schedule's device→charger choices keyed by device ID,
+// overwriting earlier entries for returning devices. Devices absent from
+// the schedule keep their previous entry: a device that sat out a round
+// still warm-starts from its last known charger when it returns.
+func (w *WarmStart) Record(in *Instance, s *Schedule) {
+	if w.charger == nil {
+		w.charger = make(map[string]int)
+	}
+	for _, c := range s.Coalitions {
+		for _, i := range c.Members {
+			w.charger[in.Devices[i].ID] = c.Charger
+		}
+	}
+}
+
+// Seed builds a validated CCSGAOptions.Init for cm: remembered devices are
+// seeded at their previous charger, everyone else at its standalone
+// charger. Under session capacities devices are packed largest-demand
+// first (the cold-start rule) into the target charger's slots, falling
+// back to the cheapest feasible slot anywhere when the target is full, so
+// Seed succeeds on every instance the cold start can handle. It returns an
+// error only when some device fits no slot at all — the same "capacities
+// too tight" condition that fails the cold start.
+func (w *WarmStart) Seed(cm *CostModel) ([]int, error) {
+	chargerOf, firstSlot := SessionSlots(cm)
+	in := cm.Instance()
+	init := make([]int, cm.NumDevices())
+	target := func(i int) int {
+		if j, ok := w.charger[in.Devices[i].ID]; ok && j >= 0 && j < len(firstSlot) {
+			return j
+		}
+		_, j := cm.StandaloneCost(i)
+		return j
+	}
+	if !cm.HasCapacity() {
+		for i := range init {
+			init[i] = firstSlot[target(i)]
+		}
+		return init, nil
+	}
+	order := make([]int, cm.NumDevices())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Devices[order[a]].Demand > in.Devices[order[b]].Demand
+	})
+	remaining := make([]float64, len(chargerOf))
+	for s, j := range chargerOf {
+		remaining[s] = in.Chargers[j].Capacity // 0 = unlimited
+	}
+	fits := func(i, s int) bool {
+		ch := in.Chargers[chargerOf[s]]
+		return ch.Capacity == 0 || in.Devices[i].Demand/ch.Efficiency <= remaining[s]*(1+1e-12)
+	}
+	take := func(i, s int) {
+		init[i] = s
+		if in.Chargers[chargerOf[s]].Capacity > 0 {
+			remaining[s] -= in.Devices[i].Demand / in.Chargers[chargerOf[s]].Efficiency
+		}
+	}
+	for _, i := range order {
+		placed := false
+		j := target(i)
+		for s := firstSlot[j]; s < len(chargerOf) && chargerOf[s] == j; s++ {
+			if fits(i, s) {
+				take(i, s)
+				placed = true
+				break
+			}
+		}
+		if placed {
+			continue
+		}
+		// Target charger full: cheapest feasible slot anywhere, the
+		// cold-start packing rule.
+		bestS, bestCost := -1, 0.0
+		for s, jj := range chargerOf {
+			if !fits(i, s) {
+				continue
+			}
+			if c := cm.SessionCost([]int{i}, jj); bestS < 0 || c < bestCost {
+				bestS, bestCost = s, c
+			}
+		}
+		if bestS < 0 {
+			return nil, &seedError{id: in.Devices[i].ID}
+		}
+		take(i, bestS)
+	}
+	return init, nil
+}
+
+// seedError reports a device that fits no session slot.
+type seedError struct{ id string }
+
+func (e *seedError) Error() string {
+	return "core: device " + e.id + " fits no session slot: capacities too tight"
+}

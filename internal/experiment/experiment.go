@@ -25,6 +25,11 @@ type Config struct {
 	// worker count: cells write into pre-indexed slots and aggregation
 	// order is fixed.
 	Workers int
+	// WarmStart switches the online experiment (ext3) to its warm-start
+	// study: a recurring-arrival workload solved cold and warm by CCSGA,
+	// reporting the coalition-formation pass/switch reduction. Off, every
+	// experiment's output is byte-identical to earlier releases.
+	WarmStart bool
 }
 
 func (c Config) withDefaults() Config {

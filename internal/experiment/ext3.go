@@ -22,6 +22,9 @@ func ext3() Experiment {
 		Title: "Extension: online arrivals — batching policy vs cost and waiting",
 		Run: func(cfg Config) (*Result, error) {
 			cfg = cfg.withDefaults()
+			if cfg.WarmStart {
+				return ext3Warm(cfg)
+			}
 			reps := cfg.reps(20, 3)
 			policies := []online.BatchPolicy{
 				online.Immediate{},
@@ -110,6 +113,116 @@ func ext3() Experiment {
 			}}, nil
 		},
 	}
+}
+
+// ext3Warm is the online experiment's warm-start study (ccsim
+// -warm-start): a fixed population of sensors returns for recharging
+// every period, so consecutive rounds re-solve nearly the same instance.
+// CCSGA runs cold and warm on identical traces; the table reports the
+// coalition-formation pass and switch reduction, the warm/cold cost
+// ratio, and whether every warm round verified Nash-stable.
+func ext3Warm(cfg Config) (*Result, error) {
+	reps := cfg.reps(10, 2)
+	visits := 50
+	if cfg.Quick {
+		visits = 12
+	}
+	policies := []online.BatchPolicy{
+		online.Periodic{Interval: 600},
+		online.Periodic{Interval: 300},
+		online.Threshold{K: 12},
+	}
+	if cfg.Quick {
+		policies = policies[:2]
+	}
+	chargers := extOnlineChargers(cfg)
+
+	type cell struct {
+		passesCold, passesWarm     float64
+		switchesCold, switchesWarm float64
+		costRatio                  float64
+		stable                     bool
+	}
+	cells := make([]cell, len(policies)*reps)
+	err := ParallelMap(context.Background(), cfg.workerCount(), len(cells), func(_ context.Context, idx int) error {
+		p := policies[idx/reps]
+		rep := idx % reps
+		seed := rng.DeriveSeed(cfg.Seed, "ext3-warm", fmt.Sprintf("rep-%d", rep))
+		arrivals, err := online.GenerateRecurringArrivals(seed, 24, visits, 600, 120, 300, 600,
+			geom.Square(1000), 150, 450, 0.005, 0.02, 25)
+		if err != nil {
+			return err
+		}
+		oc := online.Config{
+			Chargers:  chargers,
+			Arrivals:  arrivals,
+			Policy:    p,
+			Scheduler: core.CCSGAScheduler{},
+			Field:     geom.Square(1000),
+		}
+		cold, err := online.Run(oc)
+		if err != nil {
+			return err
+		}
+		oc.WarmStart = true
+		warm, err := online.Run(oc)
+		if err != nil {
+			return err
+		}
+		stable := len(warm.RoundStats) > 0
+		for _, rs := range warm.RoundStats {
+			stable = stable && rs.NashStable
+		}
+		cells[idx] = cell{
+			passesCold:   float64(cold.TotalPasses),
+			passesWarm:   float64(warm.TotalPasses),
+			switchesCold: float64(cold.TotalSwitches),
+			switchesWarm: float64(warm.TotalSwitches),
+			costRatio:    warm.TotalCost / cold.TotalCost,
+			stable:       stable,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		Title: fmt.Sprintf("Ext 3 (warm start) — 24 recurring devices × %d visits, CCSGA cold vs warm, %d reps",
+			visits, reps),
+		Columns: []string{"policy", "passes cold", "passes warm", "pass ratio",
+			"switches cold", "switches warm", "warm/cold cost", "all rounds stable"},
+	}
+	var totalCold, totalWarm float64
+	allStable := true
+	for pi, p := range policies {
+		var pc, pw, sc, sw, cr []float64
+		stable := true
+		for rep := 0; rep < reps; rep++ {
+			c := cells[pi*reps+rep]
+			pc = append(pc, c.passesCold)
+			pw = append(pw, c.passesWarm)
+			sc = append(sc, c.switchesCold)
+			sw = append(sw, c.switchesWarm)
+			cr = append(cr, c.costRatio)
+			stable = stable && c.stable
+		}
+		totalCold += stats.Mean(pc)
+		totalWarm += stats.Mean(pw)
+		allStable = allStable && stable
+		tbl.AddRow(p.Name(),
+			fmt.Sprintf("%.1f", stats.Mean(pc)),
+			fmt.Sprintf("%.1f", stats.Mean(pw)),
+			fmt.Sprintf("%.2fx", stats.Mean(pc)/stats.Mean(pw)),
+			fmt.Sprintf("%.1f", stats.Mean(sc)),
+			fmt.Sprintf("%.1f", stats.Mean(sw)),
+			fmt.Sprintf("%.4f", stats.Mean(cr)),
+			fmt.Sprintf("%t", stable))
+	}
+	return &Result{ID: "ext3-online", Table: tbl, Notes: []string{
+		fmt.Sprintf("carrying the previous round's equilibrium into the next solve cuts coalition-formation passes %.1fx overall (%.0f → %.0f) at matching cost; every warm round stays a verified Nash equilibrium: %t",
+			totalCold/totalWarm, totalCold, totalWarm, allStable),
+	}}, nil
 }
 
 // extOnlineChargers builds a fixed charger set for the online experiment.

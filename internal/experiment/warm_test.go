@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExt3WarmStartStudy runs the online experiment's warm-start mode and
+// checks the headline claim it prints: warm solves use at most half the
+// coalition-formation passes of cold solves, every warm round verifies
+// Nash-stable, and the table keeps the cold/warm column pairing.
+func TestExt3WarmStartStudy(t *testing.T) {
+	e, err := Get("ext3-online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Config{Quick: true, WarmStart: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "ext3-online" {
+		t.Errorf("ID = %q", res.ID)
+	}
+	if !strings.Contains(res.Table.Title, "warm start") {
+		t.Errorf("title %q missing warm-start marker", res.Table.Title)
+	}
+	colOf := map[string]int{}
+	for i, c := range res.Table.Columns {
+		colOf[c] = i
+	}
+	for _, want := range []string{"passes cold", "passes warm", "warm/cold cost", "all rounds stable"} {
+		if _, ok := colOf[want]; !ok {
+			t.Fatalf("table missing column %q (have %v)", want, res.Table.Columns)
+		}
+	}
+	if len(res.Table.Rows) < 2 {
+		t.Fatalf("only %d policy rows", len(res.Table.Rows))
+	}
+	for _, row := range res.Table.Rows {
+		cold, err := strconv.ParseFloat(row[colOf["passes cold"]], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := strconv.ParseFloat(row[colOf["passes warm"]], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm*2 > cold {
+			t.Errorf("%s: warm passes %v not at most half of cold %v", row[0], warm, cold)
+		}
+		ratio, err := strconv.ParseFloat(row[colOf["warm/cold cost"]], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 1.05 {
+			t.Errorf("%s: warm cost ratio %v above 1.05", row[0], ratio)
+		}
+		if row[colOf["all rounds stable"]] != "true" {
+			t.Errorf("%s: warm rounds not all Nash-stable", row[0])
+		}
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "Nash equilibrium: true") {
+		t.Errorf("notes missing stability headline: %v", res.Notes)
+	}
+}
+
+// TestExt3ColdPathIgnoresWarmFlagAbsence double-checks that the default
+// config still runs the original policy study (the golden test pins its
+// exact bytes; this guards the dispatch).
+func TestExt3ColdPathIgnoresWarmFlagAbsence(t *testing.T) {
+	e, err := Get("ext3-online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Config{Quick: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Table.Title, "warm start") {
+		t.Errorf("default config ran the warm-start study: %q", res.Table.Title)
+	}
+	if got := res.Table.Columns[1]; got != "cost / clairvoyant" {
+		t.Errorf("column 1 = %q, want the original policy study", got)
+	}
+}

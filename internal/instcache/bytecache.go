@@ -1,0 +1,90 @@
+package instcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// ByteCache is a bounded, thread-safe LRU of opaque byte values keyed by a
+// 32-byte digest. It is the serve path's first tier: fully rendered
+// responses keyed by the hash of the raw request bytes, so a byte-identical
+// repeat request is answered without decoding anything. Near-duplicates
+// (same instance, different whitespace or field order) miss here and fall
+// through to the canonical-fingerprint Cache.
+type ByteCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	entries   map[[32]byte]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type byteEntry struct {
+	key [32]byte
+	val []byte
+}
+
+// NewBytes builds a byte cache bounded to capacity entries (>= 1).
+func NewBytes(capacity int) (*ByteCache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("instcache: capacity %d < 1", capacity)
+	}
+	return &ByteCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[[32]byte]*list.Element),
+	}, nil
+}
+
+// Get returns the value stored under key. The returned slice is shared —
+// callers must treat it as immutable.
+func (c *ByteCache) Get(key [32]byte) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*byteEntry).val, true
+}
+
+// Put stores a private copy of val under key, evicting the least recently
+// used entry when full.
+func (c *ByteCache) Put(key [32]byte, val []byte) {
+	cp := append([]byte(nil), val...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*byteEntry).val = cp
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*byteEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.ll.PushFront(&byteEntry{key: key, val: cp})
+}
+
+// Stats snapshots the counters (Collapsed is always zero: the byte tier
+// has no single-flight — concurrent first requests fall through to the
+// solution cache, which collapses them).
+func (c *ByteCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,80 @@
+package instcache
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestByteCacheGetPutEvict(t *testing.T) {
+	c, err := NewBytes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := func(s string) [32]byte { return sha256.Sum256([]byte(s)) }
+	if _, ok := c.Get(k("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k("a"), []byte("A"))
+	c.Put(k("b"), []byte("B"))
+	if v, ok := c.Get(k("a")); !ok || string(v) != "A" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	// a is now most recent; inserting c must evict b.
+	c.Put(k("c"), []byte("C"))
+	if _, ok := c.Get(k("b")); ok {
+		t.Error("least recently used entry survived")
+	}
+	if _, ok := c.Get(k("a")); !ok {
+		t.Error("recently used entry evicted")
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Evictions != 1 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats %+v", st)
+	}
+	// Put copies its input; later mutation must not corrupt the entry.
+	v := []byte("mut")
+	c.Put(k("m"), v)
+	v[0] = 'X'
+	if got, _ := c.Get(k("m")); string(got) != "mut" {
+		t.Errorf("stored value mutated to %q", got)
+	}
+	// Overwriting a key replaces the value without growing the cache.
+	c.Put(k("m"), []byte("new"))
+	if got, _ := c.Get(k("m")); string(got) != "new" {
+		t.Errorf("overwrite kept %q", got)
+	}
+	if c.Stats().Size != 2 {
+		t.Errorf("size %d after overwrite, want 2", c.Stats().Size)
+	}
+	if _, err := NewBytes(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestByteCacheConcurrent(t *testing.T) {
+	c, err := NewBytes(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := sha256.Sum256([]byte(fmt.Sprintf("k%d", i%32)))
+				if v, ok := c.Get(key); ok && len(v) == 0 {
+					t.Errorf("empty cached value")
+					return
+				}
+				c.Put(key, []byte(fmt.Sprintf("v%d", i%32)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Stats().Size > 16 {
+		t.Errorf("size %d exceeds capacity", c.Stats().Size)
+	}
+}

@@ -1,0 +1,46 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// benchRecurring builds the recurring workload the warm-start layer is
+// designed for: 24 devices returning for 50 visits against the six-charger
+// grid under a periodic policy.
+func benchRecurring(b *testing.B, warm bool) Config {
+	b.Helper()
+	arrivals, err := GenerateRecurringArrivals(1, 24, 50, 600, 120, 300, 600,
+		geom.Square(1000), 150, 450, 0.005, 0.02, 25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Chargers:  gridChargers(),
+		Arrivals:  arrivals,
+		Policy:    Periodic{Interval: 600},
+		Scheduler: core.CCSGAScheduler{},
+		Field:     geom.Square(1000),
+		WarmStart: warm,
+	}
+}
+
+func benchOnline(b *testing.B, warm bool) {
+	cfg := benchRecurring(b, warm)
+	var passes, switches int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passes, switches = m.TotalPasses, m.TotalSwitches
+	}
+	b.ReportMetric(float64(passes), "passes/run")
+	b.ReportMetric(float64(switches), "switches/run")
+}
+
+func BenchmarkOnlineColdCCSGA(b *testing.B) { benchOnline(b, false) }
+func BenchmarkOnlineWarmCCSGA(b *testing.B) { benchOnline(b, true) }

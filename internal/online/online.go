@@ -89,6 +89,33 @@ type Config struct {
 	DeadlineGuard float64
 	// Field is carried into round instances (informational).
 	Field geom.Rect
+	// WarmStart carries each round's equilibrium into the next round's
+	// solve: devices the carrier remembers (matched by ID — returning
+	// devices in recurring workloads) are seeded at their previous
+	// charger, new arrivals start standalone. The batching, serving and
+	// accounting semantics are unchanged; only the solver's starting
+	// point differs, so the dynamics may land on a different (still
+	// pure-Nash) equilibrium. Requires a Scheduler implementing
+	// core.WarmScheduler, e.g. core.CCSGAScheduler. The round instances
+	// are additionally maintained incrementally (CostModel.AddDevice /
+	// RemoveDevice) instead of being rebuilt from scratch.
+	WarmStart bool
+}
+
+// RoundStat is one scheduling round's solver diagnostics, reported when
+// the scheduler exposes them (core.WarmScheduler implementations).
+type RoundStat struct {
+	// At is the round's service time, seconds.
+	At float64
+	// Devices is the batch size served.
+	Devices int
+	// Passes and Switches are the CCSGA engine's sweep and accepted-move
+	// counts for the round's solve.
+	Passes   int
+	Switches int
+	// NashStable reports whether the round's assignment was verified to
+	// be a pure Nash equilibrium.
+	NashStable bool
 }
 
 // Metrics summarizes an online run.
@@ -106,6 +133,13 @@ type Metrics struct {
 	// DeadlineMisses counts devices served after their deadline (zero
 	// under any correct policy/guard combination).
 	DeadlineMisses int
+	// TotalPasses and TotalSwitches sum the per-round solver diagnostics
+	// across all rounds; zero when the scheduler reports none.
+	TotalPasses   int
+	TotalSwitches int
+	// RoundStats has one entry per round when the scheduler reports
+	// solver diagnostics (nil otherwise).
+	RoundStats []RoundStat
 }
 
 // Run plays the arrival sequence against the policy and returns metrics.
@@ -120,6 +154,10 @@ func Run(cfg Config) (*Metrics, error) {
 	case cfg.Scheduler == nil:
 		return nil, errors.New("online: nil scheduler")
 	}
+	warmSched, warmOK := cfg.Scheduler.(core.WarmScheduler)
+	if cfg.WarmStart && !warmOK {
+		return nil, fmt.Errorf("online: WarmStart requires a core.WarmScheduler, got %s", cfg.Scheduler.Name())
+	}
 	guard := cfg.DeadlineGuard
 	if guard <= 0 {
 		guard = 1
@@ -127,7 +165,7 @@ func Run(cfg Config) (*Metrics, error) {
 	arrivals := append([]Arrival(nil), cfg.Arrivals...)
 	sort.SliceStable(arrivals, func(a, b int) bool { return arrivals[a].At < arrivals[b].At })
 	for i, a := range arrivals {
-		if a.Deadline <= a.At {
+		if a.Deadline <= a.At || math.IsNaN(a.Deadline) {
 			return nil, fmt.Errorf("online: arrival %d deadline %v not after arrival %v", i, a.Deadline, a.At)
 		}
 	}
@@ -137,22 +175,93 @@ func Run(cfg Config) (*Metrics, error) {
 		waiting   []Arrival
 		waitSum   float64
 		lastRound = math.Inf(-1)
+		// forcedMin is the earliest (deadline − guard) among waiting
+		// devices, maintained on admit and reset on flush instead of
+		// being rescanned at every decision point.
+		forcedMin = math.Inf(1)
 	)
+	// Warm-start state: the equilibrium carrier plus a persistent round
+	// instance whose cost model is patched incrementally as devices
+	// arrive and are served.
+	var (
+		ws     *core.WarmStart
+		warmIn *core.Instance
+		warmCM *core.CostModel
+	)
+	if cfg.WarmStart {
+		ws = core.NewWarmStart()
+		warmIn = &core.Instance{Field: cfg.Field, Chargers: cfg.Chargers}
+	}
+	admit := func(a Arrival) error {
+		waiting = append(waiting, a)
+		if d := a.Deadline - guard; d < forcedMin {
+			forcedMin = d
+		}
+		if !cfg.WarmStart {
+			return nil
+		}
+		if warmCM == nil {
+			warmIn.Devices = append(warmIn.Devices, a.Device)
+			cm, err := core.NewCostModel(warmIn)
+			if err != nil {
+				return fmt.Errorf("online: admit %s: %w", a.Device.ID, err)
+			}
+			warmCM = cm
+			return nil
+		}
+		if err := warmCM.AddDevice(a.Device); err != nil {
+			return fmt.Errorf("online: admit %s: %w", a.Device.ID, err)
+		}
+		return nil
+	}
 	runRound := func(now float64) error {
 		if len(waiting) == 0 {
 			return nil
 		}
-		in := &core.Instance{Field: cfg.Field, Chargers: cfg.Chargers}
-		for _, a := range waiting {
-			in.Devices = append(in.Devices, a.Device)
+		var (
+			cm  *core.CostModel
+			err error
+		)
+		if cfg.WarmStart {
+			cm = warmCM
+		} else {
+			in := &core.Instance{Field: cfg.Field, Chargers: cfg.Chargers}
+			for _, a := range waiting {
+				in.Devices = append(in.Devices, a.Device)
+			}
+			cm, err = core.NewCostModel(in)
+			if err != nil {
+				return fmt.Errorf("online: round at %v: %w", now, err)
+			}
 		}
-		cm, err := core.NewCostModel(in)
-		if err != nil {
-			return fmt.Errorf("online: round at %v: %w", now, err)
-		}
-		sched, err := cfg.Scheduler.Schedule(cm)
-		if err != nil {
-			return fmt.Errorf("online: round at %v: %w", now, err)
+		var sched *core.Schedule
+		if warmOK {
+			// Warm-capable schedulers run through ScheduleWarm so the
+			// round reports solver diagnostics; with WarmStart off the
+			// nil carrier makes this exactly the cold Schedule path.
+			var carrier *core.WarmStart
+			if cfg.WarmStart {
+				carrier = ws
+			}
+			res, err := warmSched.ScheduleWarm(cm, carrier)
+			if err != nil {
+				return fmt.Errorf("online: round at %v: %w", now, err)
+			}
+			sched = res.Schedule
+			m.TotalPasses += res.Passes
+			m.TotalSwitches += res.Switches
+			m.RoundStats = append(m.RoundStats, RoundStat{
+				At:         now,
+				Devices:    len(waiting),
+				Passes:     res.Passes,
+				Switches:   res.Switches,
+				NashStable: res.NashStable,
+			})
+		} else {
+			sched, err = cfg.Scheduler.Schedule(cm)
+			if err != nil {
+				return fmt.Errorf("online: round at %v: %w", now, err)
+			}
 		}
 		m.TotalCost += cm.TotalCost(sched)
 		m.Rounds++
@@ -168,6 +277,16 @@ func Run(cfg Config) (*Metrics, error) {
 			m.Served++
 		}
 		waiting = waiting[:0]
+		forcedMin = math.Inf(1)
+		if cfg.WarmStart {
+			// Served devices leave the persistent round instance; popping
+			// from the end keeps each removal O(1).
+			for i := warmCM.NumDevices() - 1; i >= 0; i-- {
+				if err := warmCM.RemoveDevice(i); err != nil {
+					return fmt.Errorf("online: round at %v: %w", now, err)
+				}
+			}
+		}
 		lastRound = now
 		return nil
 	}
@@ -177,24 +296,23 @@ func Run(cfg Config) (*Metrics, error) {
 	idx := 0
 	for idx < len(arrivals) || len(waiting) > 0 {
 		// Next decision time: the earlier of the next arrival and the
-		// earliest forced deadline among waiting devices.
+		// earliest forced deadline among waiting devices. The forced
+		// deadline is snapshotted before this instant's admissions, like
+		// the rescan it replaced.
 		next := math.Inf(1)
 		if idx < len(arrivals) {
 			next = arrivals[idx].At
 		}
-		forced := math.Inf(1)
-		for _, a := range waiting {
-			if d := a.Deadline - guard; d < forced {
-				forced = d
-			}
-		}
+		forced := forcedMin
 		now := math.Min(next, forced)
 		if math.IsInf(now, 1) {
 			break
 		}
 		// Admit all arrivals at this instant.
 		for idx < len(arrivals) && arrivals[idx].At <= now {
-			waiting = append(waiting, arrivals[idx])
+			if err := admit(arrivals[idx]); err != nil {
+				return nil, err
+			}
 			idx++
 		}
 		mustServe := now >= forced-1e-9
@@ -204,10 +322,12 @@ func Run(cfg Config) (*Metrics, error) {
 			}
 		}
 	}
-	// Anything still waiting is flushed at its forced deadline — the loop
-	// above guarantees that can't happen, but belt and braces:
+	// Anything still waiting is flushed at the latest deadline among the
+	// still-waiting devices — the loop above guarantees that can't
+	// happen, but belt and braces. (Arrivals are sorted by arrival time,
+	// so the last arrival's deadline would be the wrong flush time.)
 	if len(waiting) > 0 {
-		if err := runRound(arrivals[len(arrivals)-1].Deadline); err != nil {
+		if err := runRound(flushDeadline(waiting)); err != nil {
 			return nil, err
 		}
 	}
@@ -215,6 +335,18 @@ func Run(cfg Config) (*Metrics, error) {
 		m.MeanWait = waitSum / float64(m.Served)
 	}
 	return m, nil
+}
+
+// flushDeadline returns the latest deadline among the waiting devices —
+// the time by which every one of them must have been served.
+func flushDeadline(waiting []Arrival) float64 {
+	latest := math.Inf(-1)
+	for _, a := range waiting {
+		if a.Deadline > latest {
+			latest = a.Deadline
+		}
+	}
+	return latest
 }
 
 // OfflineClairvoyant returns the cost of the single-batch schedule over
@@ -270,5 +402,56 @@ func GenerateArrivals(seed int64, n int, meanInterarrival, patienceMin, patience
 		a.Deadline = now + rng.Uniform(r, patienceMin, patienceMax)
 		out = append(out, a)
 	}
+	return out, nil
+}
+
+// GenerateRecurringArrivals draws the canonical mWRSN service workload: a
+// fixed population of n rechargeable sensors that returns for recharging
+// visit after visit. Device i's visit v arrives around v·period seconds
+// (uniform jitter in [0, jitter)), at a position that drifts by at most
+// drift meters per axis between visits (the sensors are mobile), with a
+// freshly drawn demand and a patience window uniform in [patienceMin,
+// patienceMax]. Device IDs are stable across visits, which is what lets a
+// warm-started online run map returning devices onto their previous
+// equilibrium.
+func GenerateRecurringArrivals(seed int64, n, visits int, period, jitter, patienceMin, patienceMax float64,
+	field geom.Rect, demandMin, demandMax, moveRateMin, moveRateMax, drift float64) ([]Arrival, error) {
+	if n < 1 || visits < 1 {
+		return nil, fmt.Errorf("online: n %d, visits %d: both must be >= 1", n, visits)
+	}
+	if period <= 0 || jitter < 0 || jitter >= period || patienceMin <= 0 || patienceMax < patienceMin {
+		return nil, fmt.Errorf("online: bad timing parameters")
+	}
+	if drift < 0 {
+		return nil, fmt.Errorf("online: drift %v < 0", drift)
+	}
+	r := rng.Derive(seed, "online-recurring")
+	pos := geom.UniformPoints(r, field, n)
+	rate := make([]float64, n)
+	for i := range rate {
+		rate[i] = rng.Uniform(r, moveRateMin, moveRateMax)
+	}
+	out := make([]Arrival, 0, n*visits)
+	for v := 0; v < visits; v++ {
+		for i := 0; i < n; i++ {
+			if v > 0 && drift > 0 {
+				pos[i] = field.Clamp(geom.Pt(
+					pos[i].X+rng.Uniform(r, -drift, drift),
+					pos[i].Y+rng.Uniform(r, -drift, drift)))
+			}
+			at := float64(v)*period + rng.Uniform(r, 0, jitter)
+			out = append(out, Arrival{
+				Device: core.Device{
+					ID:       fmt.Sprintf("dev-%03d", i),
+					Pos:      pos[i],
+					Demand:   rng.Uniform(r, demandMin, demandMax),
+					MoveRate: rate[i],
+				},
+				At:       at,
+				Deadline: at + rng.Uniform(r, patienceMin, patienceMax),
+			})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
 	return out, nil
 }
