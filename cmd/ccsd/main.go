@@ -13,7 +13,9 @@
 // With -serve it instead answers newline-delimited JSON solve requests
 // ({"instance": {...}, "scheduler": "CCSGA"}) over the same listener,
 // memoizing solutions in a fingerprint-keyed LRU (see -cache-size and
-// -cache-off).
+// -cache-off). The service drains in-flight solves on SIGINT/SIGTERM,
+// reaps idle connections (-conn-idle-timeout), and with -metrics-addr
+// exposes /metrics, /healthz and net/http/pprof on an HTTP sidecar.
 package main
 
 import (
@@ -51,6 +53,10 @@ func run(args []string, out io.Writer) error {
 		serve      = fs.Bool("serve", false, "run as a stateless solve service: newline-delimited JSON requests on -listen instead of the agent testbed")
 		cacheSize  = fs.Int("cache-size", 1024, "solution cache capacity in entries for -serve mode")
 		cacheOff   = fs.Bool("cache-off", false, "disable the solution cache in -serve mode")
+		metricsAddr = fs.String("metrics-addr", "", "also serve /metrics, /healthz and /debug/pprof on this address in -serve mode (empty = off)")
+		connIdle    = fs.Duration("conn-idle-timeout", 3*time.Minute, "close a -serve connection idle for this long (0 = never)")
+		drainWait   = fs.Duration("drain-timeout", 10*time.Second, "on shutdown, wait this long for in-flight -serve requests before force-closing")
+		slowSolve   = fs.Duration("slow-solve", time.Second, "log a slow_solve event for -serve requests slower than this (0 = off)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -76,7 +82,24 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *serve {
-		return runServe(*listen, *cacheSize, *cacheOff, out)
+		if *connIdle < 0 {
+			return fmt.Errorf("-conn-idle-timeout must be >= 0, got %v", *connIdle)
+		}
+		if *drainWait <= 0 {
+			return fmt.Errorf("-drain-timeout must be > 0, got %v", *drainWait)
+		}
+		if *slowSolve < 0 {
+			return fmt.Errorf("-slow-solve must be >= 0, got %v", *slowSolve)
+		}
+		return runServe(serveConfig{
+			listen:       *listen,
+			cacheSize:    *cacheSize,
+			cacheOff:     *cacheOff,
+			metricsAddr:  *metricsAddr,
+			idleTimeout:  *connIdle,
+			drainTimeout: *drainWait,
+			slowSolve:    *slowSolve,
+		}, out)
 	}
 
 	cfg := testbed.Config{

@@ -5,6 +5,13 @@
 // fleet of coordinators polls with unchanged populations — are answered
 // from a fingerprint-keyed LRU cache, and concurrent duplicate requests
 // collapse into a single solve.
+//
+// Operationally the service is hardened and observable: every read error
+// is accounted (an oversized request gets a final error line instead of
+// a silent hangup), idle connections are reaped by -conn-idle-timeout,
+// SIGINT/SIGTERM drains in-flight solves before the summary prints, and
+// -metrics-addr exposes /metrics (Prometheus text), /healthz and
+// net/http/pprof on an HTTP sidecar.
 
 package main
 
@@ -16,15 +23,28 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/instcache"
+	"repro/internal/obs"
 )
+
+// maxRequestBytes bounds one request line; beyond it the client gets a
+// "request too large" error line and the connection closes.
+const maxRequestBytes = 8 * 1024 * 1024
+
+// schedulerNames lists every scheduler the service accepts, in the
+// table order used across the repo.
+var schedulerNames = []string{"NONCOOP", "CCSGA", "CCSA", "OPT"}
 
 // schedulerByName resolves the table label used by every ccsd mode.
 func schedulerByName(name string) (core.Scheduler, error) {
@@ -81,43 +101,153 @@ type solveResponse struct {
 	Err        string          `json:"error,omitempty"`
 }
 
+// serveMetrics holds the service's obs instruments. Every field is
+// nil-safe (obs instruments no-op on nil), so with metrics disabled the
+// struct is all-nil and updates cost one nil check each.
+type serveMetrics struct {
+	// inflight tracks open client connections.
+	inflight *obs.Gauge
+	// solveSec is the per-scheduler service latency histogram over the
+	// decode+solve path (raw-tier byte replays are too fast to matter
+	// and skip it).
+	solveSec map[string]*obs.Histogram
+	// idleClosed counts connections reaped by the idle timeout;
+	// oversized counts requests over maxRequestBytes; readErrors counts
+	// connections dropped on any other read error.
+	idleClosed *obs.Counter
+	oversized  *obs.Counter
+	readErrors *obs.Counter
+}
+
+// serveOpts configures a solveServer.
+type serveOpts struct {
+	// cacheSize is the per-tier LRU capacity; 0 disables caching.
+	cacheSize int
+	// idleTimeout closes a connection that sends no request for this
+	// long; 0 disables the deadline.
+	idleTimeout time.Duration
+	// slowSolve logs a slow_solve event for any request served slower
+	// than this; 0 disables the log.
+	slowSolve time.Duration
+	// reg, when non-nil, turns the metrics instruments on.
+	reg *obs.Registry
+	// log receives operational events (slow solves, dropped
+	// connections); nil discards them.
+	log *obs.EventLogger
+}
+
 // solveServer handles solve requests; safe for concurrent connections.
 // Caching is two-tier: raw answers rendered responses for byte-identical
 // repeat requests without decoding anything, and cache memoizes solutions
 // under the canonical instance fingerprint (catching re-encoded
 // duplicates and collapsing concurrent solves).
 type solveServer struct {
-	raw      *instcache.ByteCache // nil when caching is disabled
-	cache    *instcache.Cache     // nil when caching is disabled
-	requests atomic.Uint64
-	failures atomic.Uint64
+	raw         *instcache.ByteCache // nil when caching is disabled
+	cache       *instcache.Cache     // nil when caching is disabled
+	requests    atomic.Uint64
+	failures    atomic.Uint64
+	idleTimeout time.Duration
+	slowSolve   time.Duration
+	log         *obs.EventLogger
+	met         serveMetrics
+	metricsOn   bool
+
+	// Shutdown machinery: closing flips once on SIGINT/SIGTERM, wg
+	// counts live serveConn goroutines, conns tracks their sockets so a
+	// drain can unblock pending reads (and force-close stragglers).
+	closing atomic.Bool
+	wg      sync.WaitGroup
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	// solveDelay stretches every solve — a test hook for exercising the
+	// drain path deterministically. Never set in production.
+	solveDelay time.Duration
 }
 
-// newSolveServer builds a server with LRUs of cacheSize entries per tier;
-// cacheSize 0 disables caching.
-func newSolveServer(cacheSize int) (*solveServer, error) {
-	s := &solveServer{}
-	if cacheSize > 0 {
-		c, err := instcache.New(cacheSize)
+// newSolveServer builds a server; opts.cacheSize 0 disables caching.
+func newSolveServer(opts serveOpts) (*solveServer, error) {
+	s := &solveServer{
+		idleTimeout: opts.idleTimeout,
+		slowSolve:   opts.slowSolve,
+		log:         opts.log,
+		conns:       make(map[net.Conn]struct{}),
+	}
+	if opts.cacheSize > 0 {
+		c, err := instcache.New(opts.cacheSize)
 		if err != nil {
 			return nil, err
 		}
-		raw, err := instcache.NewBytes(cacheSize)
+		raw, err := instcache.NewBytes(opts.cacheSize)
 		if err != nil {
 			return nil, err
 		}
 		s.cache, s.raw = c, raw
-	} else if cacheSize < 0 {
-		return nil, fmt.Errorf("cache size %d < 0", cacheSize)
+	} else if opts.cacheSize < 0 {
+		return nil, fmt.Errorf("cache size %d < 0", opts.cacheSize)
 	}
+	s.register(opts.reg)
 	return s, nil
+}
+
+// register wires the service's instruments into reg (no-op on nil).
+func (s *solveServer) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metricsOn = true
+	reg.CounterFunc("ccsd_requests_total", func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("ccsd_request_failures_total", func() float64 { return float64(s.failures.Load()) })
+	s.met.inflight = reg.Gauge("ccsd_inflight_connections")
+	s.met.solveSec = make(map[string]*obs.Histogram, len(schedulerNames))
+	for _, name := range schedulerNames {
+		s.met.solveSec[name] = reg.Histogram("ccsd_solve_seconds", obs.DefaultLatencyBuckets, "scheduler", name)
+	}
+	s.met.idleClosed = reg.Counter("ccsd_conn_idle_closed_total")
+	s.met.oversized = reg.Counter("ccsd_oversized_requests_total")
+	s.met.readErrors = reg.Counter("ccsd_conn_read_errors_total")
+	if s.cache == nil {
+		return
+	}
+	// Cache-tier counters are sourced from the existing instcache.Stats
+	// snapshots at scrape time — the caches stay the single source of
+	// truth and the hot path pays nothing extra.
+	for tier, stats := range map[string]func() instcache.Stats{
+		"raw":       s.raw.Stats,
+		"solutions": s.cache.Stats,
+	} {
+		tier, stats := tier, stats
+		reg.CounterFunc("ccsd_cache_hits_total", func() float64 { return float64(stats().Hits) }, "tier", tier)
+		reg.CounterFunc("ccsd_cache_misses_total", func() float64 { return float64(stats().Misses) }, "tier", tier)
+		reg.CounterFunc("ccsd_cache_evictions_total", func() float64 { return float64(stats().Evictions) }, "tier", tier)
+		reg.GaugeFunc("ccsd_cache_entries", func() float64 { return float64(stats().Size) }, "tier", tier)
+	}
+	reg.CounterFunc("ccsd_cache_collapsed_total", func() float64 { return float64(s.cache.Stats().Collapsed) }, "tier", "solutions")
 }
 
 // handle answers one request; it never panics the connection — every
 // failure comes back as a response with Err set.
 func (s *solveServer) handle(req solveRequest) solveResponse {
 	s.requests.Add(1)
+	timed := (s.metricsOn || s.slowSolve > 0) && !req.Stats && len(req.Instance) > 0
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	resp := s.answer(req)
+	if timed {
+		elapsed := time.Since(start)
+		name := req.Scheduler
+		if name == "" {
+			name = "CCSA"
+		}
+		if h, ok := s.met.solveSec[name]; ok {
+			h.Observe(elapsed.Seconds())
+		}
+		if s.slowSolve > 0 && elapsed >= s.slowSolve && resp.Err == "" {
+			s.log.Event("slow_solve", "scheduler", name, "elapsed", elapsed, "cached", resp.Cached)
+		}
+	}
 	if resp.Err != "" {
 		s.failures.Add(1)
 	}
@@ -149,6 +279,9 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 		return solveResponse{Err: err.Error()}
 	}
 	solve := func() (*core.Schedule, float64, error) {
+		if s.solveDelay > 0 {
+			time.Sleep(s.solveDelay)
+		}
 		cm, err := core.NewCostModel(in)
 		if err != nil {
 			return nil, 0, err
@@ -190,12 +323,29 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 }
 
 // serveConn speaks the newline-JSON protocol on one connection until the
-// client hangs up or sends garbage the decoder can't frame.
+// client hangs up, a read fails, the idle timeout fires, or the server
+// drains. Read failures are never silent: an oversized request gets a
+// final error line and a failure count, the idle reaper and other read
+// errors are counted and logged.
 func (s *solveServer) serveConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
+	s.track(conn)
+	defer s.untrack(conn)
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64*1024), 8*1024*1024) // instances can be large
-	for sc.Scan() {
+	sc.Buffer(make([]byte, 64*1024), maxRequestBytes) // instances can be large
+	for {
+		// Draining: the in-flight request (if any) was completed below;
+		// take no new ones.
+		if s.closing.Load() {
+			return
+		}
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		if !sc.Scan() {
+			break
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
@@ -240,9 +390,58 @@ func (s *solveServer) serveConn(conn net.Conn) {
 			}
 		}
 	}
+	// The scan loop ended: distinguish a clean hangup from the failure
+	// modes that used to close the connection silently.
+	switch err := sc.Err(); {
+	case err == nil:
+		// clean EOF
+	case errors.Is(err, bufio.ErrTooLong):
+		// The request existed — it was just too big to frame. Tell the
+		// client before hanging up, and account it as a failed request.
+		s.requests.Add(1)
+		s.failures.Add(1)
+		s.met.oversized.Inc()
+		s.log.Event("request_too_large", "remote", remoteAddr(conn), "limit_bytes", maxRequestBytes)
+		_, _ = conn.Write([]byte(`{"error":"request too large"}` + "\n"))
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		// During a drain the deadline is how pending reads are unblocked —
+		// that's shutdown, not an idle client.
+		if !s.closing.Load() {
+			s.met.idleClosed.Inc()
+			s.log.Event("conn_idle_closed", "remote", remoteAddr(conn), "idle_timeout", s.idleTimeout)
+		}
+	default:
+		s.met.readErrors.Inc()
+		s.log.Event("conn_read_error", "remote", remoteAddr(conn), "err", err)
+	}
 }
 
-// serve accepts connections until the listener closes.
+// remoteAddr renders the peer address for event logs (the conn may
+// already be half-closed; RemoteAddr still works on TCP conns).
+func remoteAddr(conn net.Conn) string {
+	if a := conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
+}
+
+// track registers a live connection for the drain path.
+func (s *solveServer) track(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+// untrack closes and forgets a connection.
+func (s *solveServer) untrack(conn net.Conn) {
+	_ = conn.Close()
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// serve accepts connections until the listener closes. Each connection
+// runs in a goroutine counted by s.wg so shutdown can drain them.
 func (s *solveServer) serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
@@ -252,8 +451,51 @@ func (s *solveServer) serve(l net.Listener) error {
 			}
 			return err
 		}
-		go s.serveConn(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
 	}
+}
+
+// beginShutdown flips the server into draining mode: no new requests are
+// read, and every pending read is unblocked by an immediate deadline so
+// its serveConn can observe the drain. In-flight solves complete and
+// their responses are written before the goroutines exit.
+func (s *solveServer) beginShutdown() {
+	s.closing.Store(true)
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+}
+
+// drain waits for every serveConn goroutine to finish, up to timeout;
+// stragglers are then force-closed and given a final second. It reports
+// whether the drain completed without force-closing.
+func (s *solveServer) drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connMu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+	return false
 }
 
 // summary renders the service counters for the shutdown log line.
@@ -268,27 +510,80 @@ func (s *solveServer) summary() string {
 		ss.Size, ss.Capacity, ss.Hits, ss.Collapsed, ss.Misses, ss.Evictions)
 }
 
+// serveConfig carries the -serve flag set.
+type serveConfig struct {
+	listen       string
+	cacheSize    int
+	cacheOff     bool
+	metricsAddr  string
+	idleTimeout  time.Duration
+	drainTimeout time.Duration
+	slowSolve    time.Duration
+}
+
+// metricsHandler builds the sidecar mux: Prometheus exposition on
+// /metrics, a liveness probe on /healthz (503 once draining), and the
+// standard net/http/pprof endpoints under /debug/pprof/.
+func metricsHandler(reg *obs.Registry, srv *solveServer) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if srv.closing.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // runServe is the -serve entry point: listen, serve until SIGINT/SIGTERM,
-// then report the counters.
-func runServe(listen string, cacheSize int, cacheOff bool, out io.Writer) error {
-	if cacheOff {
-		cacheSize = 0
-	} else if cacheSize < 1 {
-		return fmt.Errorf("-cache-size must be >= 1 (or use -cache-off), got %d", cacheSize)
+// drain in-flight connections, then report the counters.
+func runServe(cfg serveConfig, out io.Writer) error {
+	if cfg.cacheOff {
+		cfg.cacheSize = 0
+	} else if cfg.cacheSize < 1 {
+		return fmt.Errorf("-cache-size must be >= 1 (or use -cache-off), got %d", cfg.cacheSize)
 	}
-	srv, err := newSolveServer(cacheSize)
+	var reg *obs.Registry
+	if cfg.metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	srv, err := newSolveServer(serveOpts{
+		cacheSize:   cfg.cacheSize,
+		idleTimeout: cfg.idleTimeout,
+		slowSolve:   cfg.slowSolve,
+		reg:         reg,
+		log:         obs.NewEventLogger(os.Stderr),
+	})
 	if err != nil {
 		return err
 	}
-	l, err := net.Listen("tcp", listen)
+	l, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
-	mode := fmt.Sprintf("cache %d entries", cacheSize)
-	if cacheSize == 0 {
+	mode := fmt.Sprintf("cache %d entries", cfg.cacheSize)
+	if cfg.cacheSize == 0 {
 		mode = "cache off"
 	}
 	fmt.Fprintf(out, "serving solves on %s (%s)\n", l.Addr(), mode)
+	if reg != nil {
+		ml, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			_ = l.Close()
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		hs := &http.Server{Handler: metricsHandler(reg, srv)}
+		go func() { _ = hs.Serve(ml) }()
+		defer func() { _ = hs.Close() }()
+		fmt.Fprintf(out, "metrics on http://%s/metrics\n", ml.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -297,11 +592,15 @@ func runServe(listen string, cacheSize int, cacheOff bool, out io.Writer) error 
 	go func() {
 		select {
 		case <-sig:
+			srv.beginShutdown()
 			_ = l.Close()
 		case <-done:
 		}
 	}()
 	err = srv.serve(l)
+	if !srv.drain(cfg.drainTimeout) {
+		fmt.Fprintf(out, "drain timed out after %v; connections force-closed\n", cfg.drainTimeout)
+	}
 	fmt.Fprintln(out, srv.summary())
 	return err
 }

@@ -1,0 +1,340 @@
+// Regression tests for the serve path's failure/shutdown semantics: the
+// oversized-request error line, the idle-connection reaper, the
+// SIGINT drain, the raw-tier replay byte-identity, and the -metrics-addr
+// sidecar end to end.
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// registrySnapshot renders reg as Prometheus text for assertions.
+func registrySnapshot(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestServeOversizedRequest pins the ErrTooLong contract: a request line
+// over maxRequestBytes gets a final {"error":"request too large"} line
+// and a failure count instead of a silent hangup. Before the fix the
+// scan loop swallowed sc.Err() and the client saw a bare EOF.
+func TestServeOversizedRequest(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, dial := startServerOpts(t, serveOpts{cacheSize: 4, reg: reg})
+	conn := dial()
+
+	// Stream >8 MiB with no newline; the server replies and hangs up
+	// mid-write, so the writer runs concurrently and ignores errors.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		chunk := bytes.Repeat([]byte("x"), 1<<20)
+		for i := 0; i < 9; i++ {
+			if _, err := conn.Write(chunk); err != nil {
+				return
+			}
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	reply, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("no error line before close: %v", err)
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(reply, &resp); err != nil {
+		t.Fatalf("bad error line %q: %v", reply, err)
+	}
+	if resp.Err != "request too large" {
+		t.Errorf("error = %q, want \"request too large\"", resp.Err)
+	}
+	// The connection closes after the error line (EOF, or a reset when
+	// the server discards the unread remainder of the oversized line).
+	if _, err := br.ReadBytes('\n'); err == nil {
+		t.Error("connection still serving after oversized request")
+	}
+	wg.Wait()
+	if got := srv.failures.Load(); got != 1 {
+		t.Errorf("failures = %d, want 1", got)
+	}
+	if got := srv.requests.Load(); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	if snap := registrySnapshot(t, reg); !strings.Contains(snap, "ccsd_oversized_requests_total 1") {
+		t.Errorf("oversized counter missing from metrics:\n%s", snap)
+	}
+}
+
+// TestServeIdleTimeout pins the reaper: a connection that stops sending
+// requests is closed once -conn-idle-timeout elapses (the slow-loris fix
+// PR 2 made in internal/testbed, now on the serve path too), counted as
+// an idle close and not as a request failure.
+func TestServeIdleTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, dial := startServerOpts(t, serveOpts{cacheSize: 4, idleTimeout: 100 * time.Millisecond, reg: reg})
+	conn := dial()
+	br := bufio.NewReader(conn)
+
+	// A live request-response exchange works within the window.
+	if resp := roundTrip(t, conn, br, solveLine(t, serveInstance(4, 0), "CCSGA")); resp.Err != "" {
+		t.Fatalf("solve failed: %s", resp.Err)
+	}
+
+	// Then the client goes quiet; the server must hang up on its own.
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := br.ReadBytes('\n'); err == io.EOF {
+		// closed by the server, as required
+	} else if err == nil {
+		t.Fatal("server sent data to an idle connection")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("idle connection lingered %v, want ~100ms", waited)
+	}
+	if got := srv.failures.Load(); got != 0 {
+		t.Errorf("idle close counted as %d request failure(s)", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if strings.Contains(registrySnapshot(t, reg), "ccsd_conn_idle_closed_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("idle-close counter missing from metrics:\n%s", registrySnapshot(t, reg))
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeDrainWaitsForInflight pins the shutdown contract
+// deterministically: a solve in flight when the drain starts completes,
+// its response is written, and only then does drain return — while idle
+// connections are unblocked immediately. Before the fix the summary
+// printed while serveConn goroutines were still mutating the counters.
+func TestServeDrainWaitsForInflight(t *testing.T) {
+	srv, dial := startServerOpts(t, serveOpts{cacheSize: 4})
+	srv.solveDelay = 300 * time.Millisecond
+
+	idle := dial() // never sends anything; must not hold the drain
+	busy := dial()
+	if _, err := busy.Write(solveLine(t, serveInstance(10, 0), "CCSGA")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the server pick the request up and enter the (stretched) solve.
+	time.Sleep(50 * time.Millisecond)
+
+	srv.beginShutdown()
+	start := time.Now()
+	if !srv.drain(10 * time.Second) {
+		t.Error("drain timed out and force-closed connections")
+	}
+	if waited := time.Since(start); waited < 200*time.Millisecond {
+		t.Errorf("drain returned after %v — before the in-flight solve could finish", waited)
+	}
+
+	// The in-flight response landed in full before drain returned.
+	var resp solveResponse
+	reply, err := bufio.NewReader(busy).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("in-flight response dropped: %v", err)
+	}
+	if err := json.Unmarshal(reply, &resp); err != nil || resp.Err != "" || resp.Cost <= 0 {
+		t.Errorf("in-flight response %q (err %v)", reply, err)
+	}
+	if got := srv.requests.Load(); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+	// The idle connection was closed by the drain.
+	_ = idle.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bufio.NewReader(idle).ReadBytes('\n'); err != io.EOF {
+		t.Errorf("idle connection not closed by drain: %v", err)
+	}
+}
+
+// TestServeRawReplayByteIdentical pins the raw tier's contract: the
+// replayed bytes for a repeat request are exactly the first response
+// re-marshaled with Cached:true — nothing else may differ.
+func TestServeRawReplayByteIdentical(t *testing.T) {
+	_, dial := startServer(t, 8)
+	conn := dial()
+	br := bufio.NewReader(conn)
+	line := solveLine(t, serveInstance(9, 0), "CCSGA")
+
+	if _, err := conn.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	first, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var resp solveResponse
+	if err := json.Unmarshal(first, &resp); err != nil {
+		t.Fatalf("bad first response %q: %v", first, err)
+	}
+	if resp.Cached {
+		t.Fatal("first response claims cached")
+	}
+	resp.Cached = true
+	want, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(replay, want) {
+		t.Errorf("raw replay diverged from re-marshaled Cached:true form:\n got %q\nwant %q", replay, want)
+	}
+}
+
+// TestServeMetricsEndToEnd drives the full flag path with -metrics-addr:
+// the sidecar must expose per-scheduler solve histograms, cache-tier
+// counters sourced from instcache.Stats, the in-flight gauge, /healthz
+// and pprof, and the service must still shut down cleanly on SIGINT.
+func TestServeMetricsEndToEnd(t *testing.T) {
+	pr, pw := io.Pipe()
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = pw.Close() }()
+		runErr = run([]string{"-serve", "-listen", "127.0.0.1:0", "-cache-size", "8",
+			"-metrics-addr", "127.0.0.1:0", "-conn-idle-timeout", "0"}, pw)
+	}()
+
+	scanner := bufio.NewScanner(pr)
+	if !scanner.Scan() {
+		t.Fatal("no serving line from daemon")
+	}
+	addr := strings.Fields(strings.TrimPrefix(scanner.Text(), "serving solves on "))[0]
+	if !scanner.Scan() {
+		t.Fatal("no metrics line from daemon")
+	}
+	metricsLine := scanner.Text()
+	if !strings.HasPrefix(metricsLine, "metrics on http://") {
+		t.Fatalf("unexpected metrics line %q", metricsLine)
+	}
+	base := strings.TrimSuffix(strings.TrimPrefix(metricsLine, "metrics on "), "/metrics")
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	ccsga := solveLine(t, serveInstance(8, 0), "CCSGA")
+	for _, line := range [][]byte{ccsga, ccsga, solveLine(t, serveInstance(6, 0), "CCSA")} {
+		if resp := roundTrip(t, conn, br, line); resp.Err != "" {
+			t.Fatalf("solve failed: %s", resp.Err)
+		}
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`ccsd_solve_seconds_count{scheduler="CCSGA"} 1`, // raw replay skips the histogram
+		`ccsd_solve_seconds_count{scheduler="CCSA"} 1`,
+		`ccsd_solve_seconds_bucket{scheduler="CCSGA",le="+Inf"} 1`,
+		"ccsd_requests_total 3",
+		"ccsd_request_failures_total 0",
+		`ccsd_cache_hits_total{tier="raw"} 1`,
+		`ccsd_cache_misses_total{tier="solutions"} 2`,
+		`ccsd_cache_entries{tier="solutions"} 2`,
+		"ccsd_inflight_connections 1",
+		"# TYPE ccsd_solve_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline = %d, %d bytes", code, len(body))
+	}
+
+	_ = conn.Close()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	var rest strings.Builder
+	for scanner.Scan() {
+		rest.WriteString(scanner.Text())
+		rest.WriteByte('\n')
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGINT")
+	}
+	if runErr != nil {
+		t.Fatalf("daemon: %v", runErr)
+	}
+	if !strings.Contains(rest.String(), "served 3 request(s), 0 failed") {
+		t.Errorf("shutdown summary missing counters:\n%s", rest.String())
+	}
+}
+
+// TestServeHardeningFlagValidation covers the new -serve knobs.
+func TestServeHardeningFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-serve", "-conn-idle-timeout", "-1s"},
+		{"-serve", "-drain-timeout", "0s"},
+		{"-serve", "-slow-solve", "-1s"},
+	} {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/pricing"
 )
 
@@ -66,7 +67,13 @@ func solveLine(t testing.TB, in *core.Instance, scheduler string) []byte {
 // dialer for it.
 func startServer(t *testing.T, cacheSize int) (*solveServer, func() net.Conn) {
 	t.Helper()
-	srv, err := newSolveServer(cacheSize)
+	return startServerOpts(t, serveOpts{cacheSize: cacheSize})
+}
+
+// startServerOpts is startServer with full control over the options.
+func startServerOpts(t *testing.T, opts serveOpts) (*solveServer, func() net.Conn) {
+	t.Helper()
+	srv, err := newSolveServer(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +207,7 @@ func TestServeErrors(t *testing.T) {
 }
 
 func TestServeCacheOff(t *testing.T) {
-	srv, err := newSolveServer(0)
+	srv, err := newSolveServer(serveOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,11 +275,35 @@ func TestRunServeEndToEnd(t *testing.T) {
 	}
 	_ = conn.Close()
 
+	// Put a request in flight on a fresh connection (a distinct, larger
+	// instance so it misses every cache tier and actually solves), then
+	// signal shutdown before reading the reply: the drain must let the
+	// solve complete and the response land before the summary prints.
+	inflight, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflightLine := solveLine(t, serveInstance(120, 3), "CCSGA")
+	if _, err := inflight.Write(inflightLine); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server a moment to pick the request off the socket so the
+	// signal lands while the request is being served, not while it is
+	// still in the kernel buffer (the deterministic drain coverage is
+	// TestServeDrainWaitsForInflight; this end-to-end test asserts the
+	// response is never dropped across SIGINT).
+	time.Sleep(10 * time.Millisecond)
+
 	// runServe installs a SIGINT handler; the signal reaches the whole
 	// test process, but only that handler is listening.
 	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
 		t.Fatal(err)
 	}
+	resp := roundTrip(t, inflight, bufio.NewReader(inflight), nil)
+	if resp.Err != "" || resp.Cost <= 0 {
+		t.Errorf("in-flight request dropped during shutdown: %+v", resp)
+	}
+	_ = inflight.Close()
 	var rest strings.Builder
 	for scanner.Scan() {
 		rest.WriteString(scanner.Text())
@@ -289,8 +320,8 @@ func TestRunServeEndToEnd(t *testing.T) {
 		t.Fatalf("daemon: %v", runErr)
 	}
 	out := rest.String()
-	if !strings.Contains(out, "served 2 request(s), 0 failed") ||
-		!strings.Contains(out, "1 hit(s)") || !strings.Contains(out, "1 miss(es)") {
+	if !strings.Contains(out, "served 3 request(s), 0 failed") ||
+		!strings.Contains(out, "1 hit(s)") || !strings.Contains(out, "2 miss(es)") {
 		t.Errorf("shutdown summary missing counters:\n%s", out)
 	}
 }
@@ -307,8 +338,14 @@ func TestServeFlagValidation(t *testing.T) {
 
 // benchServe measures loopback request throughput on a duplicate-heavy mix
 // (eight distinct instances cycling), the workload the cache is built for.
-func benchServe(b *testing.B, cacheSize int) {
-	srv, err := newSolveServer(cacheSize)
+// withMetrics attaches a live obs registry, pinning the cost of the
+// instrumented hot path next to the metrics-off baseline.
+func benchServe(b *testing.B, cacheSize int, withMetrics bool) {
+	opts := serveOpts{cacheSize: cacheSize}
+	if withMetrics {
+		opts.reg = obs.NewRegistry()
+	}
+	srv, err := newSolveServer(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -354,5 +391,6 @@ func benchServe(b *testing.B, cacheSize int) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
-func BenchmarkServeUncached(b *testing.B) { benchServe(b, 0) }
-func BenchmarkServeCached(b *testing.B)   { benchServe(b, 64) }
+func BenchmarkServeUncached(b *testing.B)      { benchServe(b, 0, false) }
+func BenchmarkServeCached(b *testing.B)        { benchServe(b, 64, false) }
+func BenchmarkServeCachedMetrics(b *testing.B) { benchServe(b, 64, true) }

@@ -6,6 +6,7 @@
 //	ccsim -experiment table1
 //	ccsim -experiment all -quick
 //	ccsim -experiment fig3 -csv -seed 7 -reps 10
+//	ccsim -experiment ext3-online -quick -metrics metrics.prom
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"runtime/pprof"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		warm    = fs.Bool("warm-start", false, "switch the online experiment (ext3) to its warm-start study: CCSGA cold vs warm on recurring arrivals")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
+		metrics = fs.String("metrics", "", "write a Prometheus text snapshot of the runs' solver diagnostics to this file (populated by experiments that use the online loop, e.g. ext3-online)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -75,6 +78,19 @@ func run(args []string, out io.Writer) error {
 		memFile = f
 		defer memFile.Close()
 	}
+	var (
+		metricsFile *os.File
+		reg         *obs.Registry
+	)
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			return fmt.Errorf("-metrics: %w", err)
+		}
+		metricsFile = f
+		defer metricsFile.Close()
+		reg = obs.NewRegistry()
+	}
 
 	if *list {
 		for _, e := range experiment.Registry() {
@@ -101,7 +117,7 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers, WarmStart: *warm}
+	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers, WarmStart: *warm, Obs: reg}
 	for i, e := range exps {
 		if i > 0 {
 			fmt.Fprintln(out)
@@ -128,6 +144,11 @@ func run(args []string, out io.Writer) error {
 		runtime.GC() // settle the heap so the profile shows retained allocations
 		if err := pprof.WriteHeapProfile(memFile); err != nil {
 			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	if metricsFile != nil {
+		if err := reg.WritePrometheus(metricsFile); err != nil {
+			return fmt.Errorf("-metrics: %w", err)
 		}
 	}
 	return nil

@@ -136,3 +136,44 @@ func TestWorkersFlagDeterminism(t *testing.T) {
 		t.Errorf("-workers 1 and -workers 8 disagree:\n%s\nvs\n%s", one, eight)
 	}
 }
+
+// TestMetricsFlag runs the online experiment with -metrics and checks
+// the snapshot holds the online loop's solver diagnostics — and that
+// collecting them leaves the table output byte-identical.
+func TestMetricsFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	plain := runOutput(t, "-experiment", "ext3-online", "-quick")
+	instrumented := runOutput(t, "-experiment", "ext3-online", "-quick", "-metrics", path)
+	if plain != instrumented {
+		t.Errorf("-metrics changed the experiment output:\n%s\nvs\n%s", plain, instrumented)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	snap := string(raw)
+	for _, want := range []string{
+		`online_rounds_total{scheduler="CCSA"}`,
+		`online_devices_served_total{scheduler="CCSA"}`,
+		"# TYPE online_batch_devices histogram",
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestMetricsFlagBadPathFailsUpFront(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{"-experiment", "ext3-online", "-quick",
+		"-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "m.prom")}, &buf)
+	if err == nil {
+		t.Fatal("unwritable -metrics path should error")
+	}
+	if !strings.Contains(err.Error(), "metrics") {
+		t.Errorf("error %q does not mention the flag", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("experiment ran despite bad metrics path:\n%s", buf.String())
+	}
+}

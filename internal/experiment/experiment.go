@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Config controls how experiments run.
@@ -30,6 +32,11 @@ type Config struct {
 	// reporting the coalition-formation pass/switch reduction. Off, every
 	// experiment's output is byte-identical to earlier releases.
 	WarmStart bool
+	// Obs, when non-nil, collects solver diagnostics from the
+	// experiments that run the online loop (ccsim -metrics). The
+	// registry is safe for the concurrent cells; table output is
+	// byte-identical with or without it.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -58,6 +58,7 @@ func ext3() Experiment {
 					Policy:    p,
 					Scheduler: core.CCSAScheduler{},
 					Field:     geom.Square(1000),
+					Obs:       cfg.Obs,
 				}
 				off, err := online.OfflineClairvoyant(oc)
 				if err != nil {
@@ -159,6 +160,7 @@ func ext3Warm(cfg Config) (*Result, error) {
 			Policy:    p,
 			Scheduler: core.CCSGAScheduler{},
 			Field:     geom.Square(1000),
+			Obs:       cfg.Obs,
 		}
 		cold, err := online.Run(oc)
 		if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -100,6 +101,42 @@ type Config struct {
 	// are additionally maintained incrementally (CostModel.AddDevice /
 	// RemoveDevice) instead of being rebuilt from scratch.
 	WarmStart bool
+	// Obs, when non-nil, receives the run's solver diagnostics as
+	// labeled metrics (rounds, served devices, batch sizes, CCSGA
+	// passes/switches, Nash-stability, deadline misses) so service
+	// harnesses and ccsim can snapshot them. Nil disables the
+	// instruments at zero cost, and the returned Metrics are identical
+	// either way.
+	Obs *obs.Registry
+}
+
+// obsInstruments holds the run's registered metrics; every field is a
+// nil-safe no-op when Config.Obs is nil.
+type obsInstruments struct {
+	rounds    *obs.Counter
+	served    *obs.Counter
+	passes    *obs.Counter
+	switches  *obs.Counter
+	unstable  *obs.Counter
+	misses    *obs.Counter
+	batchSize *obs.Histogram
+}
+
+// instruments registers the run's metric series, labeled by scheduler.
+func (cfg Config) instruments() obsInstruments {
+	if cfg.Obs == nil {
+		return obsInstruments{}
+	}
+	name := cfg.Scheduler.Name()
+	return obsInstruments{
+		rounds:    cfg.Obs.Counter("online_rounds_total", "scheduler", name),
+		served:    cfg.Obs.Counter("online_devices_served_total", "scheduler", name),
+		passes:    cfg.Obs.Counter("online_passes_total", "scheduler", name),
+		switches:  cfg.Obs.Counter("online_switches_total", "scheduler", name),
+		unstable:  cfg.Obs.Counter("online_unstable_rounds_total", "scheduler", name),
+		misses:    cfg.Obs.Counter("online_deadline_misses_total", "scheduler", name),
+		batchSize: cfg.Obs.Histogram("online_batch_devices", []float64{1, 2, 4, 8, 16, 32, 64}, "scheduler", name),
+	}
 }
 
 // RoundStat is one scheduling round's solver diagnostics, reported when
@@ -171,6 +208,7 @@ func Run(cfg Config) (*Metrics, error) {
 	}
 
 	m := &Metrics{}
+	ins := cfg.instruments()
 	var (
 		waiting   []Arrival
 		waitSum   float64
@@ -257,6 +295,11 @@ func Run(cfg Config) (*Metrics, error) {
 				Switches:   res.Switches,
 				NashStable: res.NashStable,
 			})
+			ins.passes.Add(uint64(res.Passes))
+			ins.switches.Add(uint64(res.Switches))
+			if !res.NashStable {
+				ins.unstable.Inc()
+			}
 		} else {
 			sched, err = cfg.Scheduler.Schedule(cm)
 			if err != nil {
@@ -265,6 +308,9 @@ func Run(cfg Config) (*Metrics, error) {
 		}
 		m.TotalCost += cm.TotalCost(sched)
 		m.Rounds++
+		ins.rounds.Inc()
+		ins.batchSize.Observe(float64(len(waiting)))
+		ins.served.Add(uint64(len(waiting)))
 		for _, a := range waiting {
 			wait := now - a.At
 			waitSum += wait
@@ -273,6 +319,7 @@ func Run(cfg Config) (*Metrics, error) {
 			}
 			if now > a.Deadline {
 				m.DeadlineMisses++
+				ins.misses.Inc()
 			}
 			m.Served++
 		}
