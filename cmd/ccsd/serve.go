@@ -36,6 +36,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/instcache"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // maxRequestBytes bounds one request line; beyond it the client gets a
@@ -62,16 +63,34 @@ func schedulerByName(name string) (core.Scheduler, error) {
 	}
 }
 
-// solveRequest is one line from a client: either an instance to solve or a
-// stats query.
+// solveRequest is one line from a client: a stateless solve, a stats
+// query, or one of the session-protocol verbs (register / delta /
+// close — see session.go).
 type solveRequest struct {
 	// Instance is a cmd/ccsgen-format instance JSON object.
 	Instance json.RawMessage `json:"instance,omitempty"`
 	// Scheduler names the algorithm (NONCOOP | CCSGA | CCSA | OPT);
-	// empty means CCSA.
+	// empty means CCSA (or CCSGA for a register).
 	Scheduler string `json:"scheduler,omitempty"`
-	// Stats requests the cache counters instead of a solve.
+	// Stats requests the service counters instead of a solve.
 	Stats bool `json:"stats,omitempty"`
+	// Register opens a session for Instance; the response carries the
+	// session ID and the initial schedule.
+	Register bool `json:"register,omitempty"`
+	// Session targets a registered session (with Deltas or Close).
+	Session uint64 `json:"session,omitempty"`
+	// Deltas is the batch of incremental changes to apply before the
+	// warm re-solve.
+	Deltas []sessionDelta `json:"deltas,omitempty"`
+	// Close ends the session named by Session.
+	Close bool `json:"close,omitempty"`
+}
+
+// stateless reports whether the request is replayable from the raw byte
+// cache: session verbs mutate server state, so only plain solves and
+// stats queries qualify (and stats are excluded separately at Put).
+func (r solveRequest) stateless() bool {
+	return !r.Register && r.Session == 0
 }
 
 // coalitionJSON reports one charging session by agent IDs.
@@ -81,7 +100,7 @@ type coalitionJSON struct {
 }
 
 // serviceStats reports the service counters: both cache tiers plus the
-// request totals.
+// request totals and session-protocol counters.
 type serviceStats struct {
 	Requests uint64 `json:"requests"`
 	Failures uint64 `json:"failures"`
@@ -89,6 +108,19 @@ type serviceStats struct {
 	// hash); Solutions is the canonical-fingerprint solution cache.
 	Raw       instcache.Stats `json:"raw"`
 	Solutions instcache.Stats `json:"solutions"`
+	// Sessions reports the session-protocol counters (nil when the
+	// protocol is disabled).
+	Sessions *sessionStats `json:"sessionProtocol,omitempty"`
+}
+
+// sessionStats is the session-protocol slice of serviceStats.
+type sessionStats struct {
+	Active      int    `json:"active"`
+	Registered  uint64 `json:"registered"`
+	DeltaSolves uint64 `json:"deltaSolves"`
+	EvictedLRU  uint64 `json:"evictedLRU"`
+	EvictedIdle uint64 `json:"evictedIdle"`
+	Unknown     uint64 `json:"unknownSession"`
 }
 
 // solveResponse is one line back to the client.
@@ -98,7 +130,14 @@ type solveResponse struct {
 	Coalitions []coalitionJSON `json:"coalitions,omitempty"`
 	Cached     bool            `json:"cached,omitempty"`
 	Stats      *serviceStats   `json:"stats,omitempty"`
-	Err        string          `json:"error,omitempty"`
+	// Session-protocol fields: the session ID, the warm solve's
+	// convergence diagnostics, and the close acknowledgement.
+	Session  uint64 `json:"session,omitempty"`
+	Passes   int    `json:"passes,omitempty"`
+	Switches int    `json:"switches,omitempty"`
+	Nash     bool   `json:"nash,omitempty"`
+	Closed   bool   `json:"closed,omitempty"`
+	Err      string `json:"error,omitempty"`
 }
 
 // serveMetrics holds the service's obs instruments. Every field is
@@ -111,6 +150,9 @@ type serveMetrics struct {
 	// decode+solve path (raw-tier byte replays are too fast to matter
 	// and skip it).
 	solveSec map[string]*obs.Histogram
+	// deltaSolveSec is the per-scheduler latency histogram over the
+	// session delta path (apply patches + warm re-solve).
+	deltaSolveSec map[string]*obs.Histogram
 	// idleClosed counts connections reaped by the idle timeout;
 	// oversized counts requests over maxRequestBytes; readErrors counts
 	// connections dropped on any other read error.
@@ -129,6 +171,12 @@ type serveOpts struct {
 	// slowSolve logs a slow_solve event for any request served slower
 	// than this; 0 disables the log.
 	slowSolve time.Duration
+	// maxSessions caps live sessions (LRU-evicted beyond it); 0 disables
+	// the session protocol.
+	maxSessions int
+	// sessionTTL expires a session idle for this long; 0 disables
+	// expiry.
+	sessionTTL time.Duration
 	// reg, when non-nil, turns the metrics instruments on.
 	reg *obs.Registry
 	// log receives operational events (slow solves, dropped
@@ -142,15 +190,20 @@ type serveOpts struct {
 // under the canonical instance fingerprint (catching re-encoded
 // duplicates and collapsing concurrent solves).
 type solveServer struct {
-	raw         *instcache.ByteCache // nil when caching is disabled
-	cache       *instcache.Cache     // nil when caching is disabled
-	requests    atomic.Uint64
-	failures    atomic.Uint64
-	idleTimeout time.Duration
-	slowSolve   time.Duration
-	log         *obs.EventLogger
-	met         serveMetrics
-	metricsOn   bool
+	raw      *instcache.ByteCache // nil when caching is disabled
+	cache    *instcache.Cache     // nil when caching is disabled
+	sessions *sessionManager      // nil when the session protocol is disabled
+	requests atomic.Uint64
+	failures atomic.Uint64
+	// deltaSolves counts session delta requests that reached a warm
+	// re-solve; unknownSession counts delta/stat misses on dead IDs.
+	deltaSolves    atomic.Uint64
+	unknownSession atomic.Uint64
+	idleTimeout    time.Duration
+	slowSolve      time.Duration
+	log            *obs.EventLogger
+	met            serveMetrics
+	metricsOn      bool
 
 	// Shutdown machinery: closing flips once on SIGINT/SIGTERM, wg
 	// counts live serveConn goroutines, conns tracks their sockets so a
@@ -186,6 +239,12 @@ func newSolveServer(opts serveOpts) (*solveServer, error) {
 	} else if opts.cacheSize < 0 {
 		return nil, fmt.Errorf("cache size %d < 0", opts.cacheSize)
 	}
+	if opts.maxSessions < 0 {
+		return nil, fmt.Errorf("max sessions %d < 0", opts.maxSessions)
+	}
+	if opts.maxSessions > 0 {
+		s.sessions = newSessionManager(opts.maxSessions, opts.sessionTTL)
+	}
 	s.register(opts.reg)
 	return s, nil
 }
@@ -206,6 +265,22 @@ func (s *solveServer) register(reg *obs.Registry) {
 	s.met.idleClosed = reg.Counter("ccsd_conn_idle_closed_total")
 	s.met.oversized = reg.Counter("ccsd_oversized_requests_total")
 	s.met.readErrors = reg.Counter("ccsd_conn_read_errors_total")
+	if s.sessions != nil {
+		reg.GaugeFunc("ccsd_sessions_active", func() float64 { return float64(s.sessions.active()) })
+		reg.CounterFunc("ccsd_sessions_registered_total", func() float64 { return float64(s.sessions.registered()) })
+		reg.CounterFunc("ccsd_session_evictions_total", func() float64 { return float64(s.sessions.evictLRU.Load()) }, "reason", "lru")
+		reg.CounterFunc("ccsd_session_evictions_total", func() float64 { return float64(s.sessions.evictTTL.Load()) }, "reason", "idle")
+		reg.CounterFunc("ccsd_unknown_session_total", func() float64 { return float64(s.unknownSession.Load()) })
+		reg.CounterFunc("ccsd_delta_solves_total", func() float64 { return float64(s.deltaSolves.Load()) })
+		s.met.deltaSolveSec = make(map[string]*obs.Histogram, len(schedulerNames))
+		for _, name := range schedulerNames {
+			if sched, err := schedulerByName(name); err == nil {
+				if _, warm := sched.(core.WarmScheduler); warm {
+					s.met.deltaSolveSec[name] = reg.Histogram("ccsd_delta_solve_seconds", obs.DefaultLatencyBuckets, "scheduler", name)
+				}
+			}
+		}
+	}
 	if s.cache == nil {
 		return
 	}
@@ -239,7 +314,11 @@ func (s *solveServer) handle(req solveRequest) solveResponse {
 		elapsed := time.Since(start)
 		name := req.Scheduler
 		if name == "" {
-			name = "CCSA"
+			if req.Register {
+				name = "CCSGA" // registers default to the warm scheduler
+			} else {
+				name = "CCSA"
+			}
 		}
 		if h, ok := s.met.solveSec[name]; ok {
 			h.Observe(elapsed.Seconds())
@@ -261,7 +340,31 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 			st.Raw = s.raw.Stats()
 			st.Solutions = s.cache.Stats()
 		}
+		if s.sessions != nil {
+			st.Sessions = &sessionStats{
+				Active:      s.sessions.active(),
+				Registered:  s.sessions.registered(),
+				DeltaSolves: s.deltaSolves.Load(),
+				EvictedLRU:  s.sessions.evictLRU.Load(),
+				EvictedIdle: s.sessions.evictTTL.Load(),
+				Unknown:     s.unknownSession.Load(),
+			}
+		}
 		return solveResponse{Stats: st}
+	}
+	// Session verbs (see session.go). A close on a session that also
+	// carries deltas is rejected by construction: Close wins.
+	if req.Register {
+		return s.registerSession(req)
+	}
+	if req.Session != 0 {
+		if s.sessions == nil {
+			return solveResponse{Err: "session protocol disabled (-max-sessions 0)"}
+		}
+		if req.Close {
+			return s.closeSession(req)
+		}
+		return s.deltaSolve(req)
 	}
 	if len(req.Instance) == 0 {
 		return solveResponse{Err: "request has neither an instance nor a stats query"}
@@ -322,17 +425,49 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 	return resp
 }
 
-// serveConn speaks the newline-JSON protocol on one connection until the
-// client hangs up, a read fails, the idle timeout fires, or the server
-// drains. Read failures are never silent: an oversized request gets a
-// final error line and a failure count, the idle reaper and other read
-// errors are counted and logged.
+// serveConn negotiates the protocol for one connection and dispatches:
+// the first byte of a binary frame is wire.Magic (0xCC), which no JSON
+// request can start with, so a one-byte peek picks the codec without
+// consuming anything.
 func (s *solveServer) serveConn(conn net.Conn) {
 	s.track(conn)
 	defer s.untrack(conn)
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
-	sc := bufio.NewScanner(conn)
+	br := bufio.NewReaderSize(conn, 64*1024)
+	if s.idleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		// The client hung up (or idled out) before its first byte.
+		switch {
+		case errors.Is(err, io.EOF):
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			if !s.closing.Load() {
+				s.met.idleClosed.Inc()
+				s.log.Event("conn_idle_closed", "remote", remoteAddr(conn), "idle_timeout", s.idleTimeout)
+			}
+		default:
+			s.met.readErrors.Inc()
+			s.log.Event("conn_read_error", "remote", remoteAddr(conn), "err", err)
+		}
+		return
+	}
+	if first[0] == wire.Magic {
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveJSON(conn, br)
+}
+
+// serveJSON speaks the newline-JSON protocol on one connection until the
+// client hangs up, a read fails, the idle timeout fires, or the server
+// drains. Read failures are never silent: an oversized request gets a
+// final error line and a failure count, the idle reaper and other read
+// errors are counted and logged.
+func (s *solveServer) serveJSON(conn net.Conn, br *bufio.Reader) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 64*1024), maxRequestBytes) // instances can be large
 	for {
 		// Draining: the in-flight request (if any) was completed below;
@@ -380,9 +515,12 @@ func (s *solveServer) serveConn(conn net.Conn) {
 		if _, err := conn.Write(out); err != nil {
 			return
 		}
-		// Successful solves replay as cache hits; stats queries and errors
-		// are never byte-cached.
-		if s.raw != nil && resp.Err == "" && resp.Stats == nil {
+		// Successful stateless solves replay as cache hits; stats
+		// queries, errors, and session verbs (whose responses depend on
+		// server state, not just the request bytes) are never byte-cached
+		// — which also keeps the pre-decode Get above from ever replaying
+		// them.
+		if s.raw != nil && resp.Err == "" && resp.Stats == nil && req.stateless() {
 			replay := resp
 			replay.Cached = true
 			if rb, err := json.Marshal(replay); err == nil {
@@ -501,6 +639,10 @@ func (s *solveServer) drain(timeout time.Duration) bool {
 // summary renders the service counters for the shutdown log line.
 func (s *solveServer) summary() string {
 	line := fmt.Sprintf("served %d request(s), %d failed", s.requests.Load(), s.failures.Load())
+	if s.sessions != nil {
+		line += fmt.Sprintf(", %d session(s) registered, %d delta solve(s)",
+			s.sessions.registered(), s.deltaSolves.Load())
+	}
 	if s.cache == nil {
 		return line + ", cache off"
 	}
@@ -519,6 +661,8 @@ type serveConfig struct {
 	idleTimeout  time.Duration
 	drainTimeout time.Duration
 	slowSolve    time.Duration
+	maxSessions  int
+	sessionTTL   time.Duration
 }
 
 // metricsHandler builds the sidecar mux: Prometheus exposition on
@@ -558,6 +702,8 @@ func runServe(cfg serveConfig, out io.Writer) error {
 		cacheSize:   cfg.cacheSize,
 		idleTimeout: cfg.idleTimeout,
 		slowSolve:   cfg.slowSolve,
+		maxSessions: cfg.maxSessions,
+		sessionTTL:  cfg.sessionTTL,
 		reg:         reg,
 		log:         obs.NewEventLogger(os.Stderr),
 	})
@@ -571,6 +717,11 @@ func runServe(cfg serveConfig, out io.Writer) error {
 	mode := fmt.Sprintf("cache %d entries", cfg.cacheSize)
 	if cfg.cacheSize == 0 {
 		mode = "cache off"
+	}
+	if cfg.maxSessions > 0 {
+		mode += fmt.Sprintf(", sessions up to %d", cfg.maxSessions)
+	} else {
+		mode += ", sessions off"
 	}
 	fmt.Fprintf(out, "serving solves on %s (%s)\n", l.Addr(), mode)
 	if reg != nil {

@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -18,7 +19,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gen"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // registrySnapshot renders reg as Prometheus text for assertions.
@@ -325,12 +328,153 @@ func TestServeMetricsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeDrainWaitsForInflightDelta pins the shutdown contract on the
+// session path, deterministically: a delta solve in flight on a binary
+// connection when the drain starts completes, its TSchedule frame is
+// written, and only then does drain return.
+func TestServeDrainWaitsForInflightDelta(t *testing.T) {
+	srv, dial := startServerOpts(t, serveOpts{cacheSize: 4, maxSessions: 4})
+	wc := newWireClient(dial())
+	reg, err := wc.register(sessionInstance(10, false), "CCSGA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stretch only the delta solve (registration already happened), put
+	// one in flight, then start the drain while it is being served.
+	srv.solveDelay = 300 * time.Millisecond
+	payload := wire.AppendUvarint(nil, reg.session)
+	payload, err = appendDeltaOps(payload, []sessionDelta{{Op: opDemand, ID: "dev-003", Demand: 321}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.w.WriteFrame(wire.TDelta, payload); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	srv.beginShutdown()
+	start := time.Now()
+	if !srv.drain(10 * time.Second) {
+		t.Error("drain timed out and force-closed connections")
+	}
+	if waited := time.Since(start); waited < 200*time.Millisecond {
+		t.Errorf("drain returned after %v — before the in-flight delta solve could finish", waited)
+	}
+
+	// The in-flight TSchedule frame landed in full before drain returned.
+	typ, resp, err := wc.r.ReadFrame()
+	if err != nil || typ != wire.TSchedule {
+		t.Fatalf("in-flight delta response dropped: type 0x%02X err %v", byte(typ), err)
+	}
+	if got, err := decodeScheduleBlock(wire.NewDecoder(resp)); err != nil || got.cost <= 0 || !got.nash {
+		t.Errorf("in-flight delta response %+v (err %v)", got, err)
+	}
+	if got := srv.deltaSolves.Load(); got != 1 {
+		t.Errorf("delta solves = %d, want 1", got)
+	}
+	if !strings.Contains(srv.summary(), "1 session(s) registered, 1 delta solve(s)") {
+		t.Errorf("summary %q missing session counters", srv.summary())
+	}
+}
+
+// TestRunServeSessionSIGINT drives the session flags through run() and
+// pins that a delta solve in flight when SIGINT lands still gets its
+// response before the daemon exits.
+func TestRunServeSessionSIGINT(t *testing.T) {
+	pr, pw := io.Pipe()
+	var (
+		wg     sync.WaitGroup
+		runErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { _ = pw.Close() }()
+		runErr = run([]string{"-serve", "-listen", "127.0.0.1:0", "-cache-size", "8",
+			"-max-sessions", "8", "-session-idle-timeout", "1m"}, pw)
+	}()
+
+	scanner := bufio.NewScanner(pr)
+	if !scanner.Scan() {
+		t.Fatal("no serving line from daemon")
+	}
+	first := scanner.Text()
+	if !strings.Contains(first, "sessions up to 8") {
+		t.Errorf("serving line %q missing session capacity", first)
+	}
+	addr := strings.Fields(strings.TrimPrefix(first, "serving solves on "))[0]
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	reg, err := gen.EncodeInstance(sessionInstance(40, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := json.Marshal(solveRequest{Register: true, Scheduler: "CCSGA", Instance: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := roundTrip(t, conn, br, append(line, '\n'))
+	if resp.Err != "" || resp.Session == 0 {
+		t.Fatalf("register: %+v", resp)
+	}
+
+	// A churn-heavy delta batch goes in flight, then the signal lands.
+	var deltas []sessionDelta
+	for i := 0; i < 30; i++ {
+		deltas = append(deltas, sessionDelta{Op: opJoin, Device: &gen.DeviceDTO{
+			ID: fmt.Sprintf("burst-%03d", i), X: float64(i * 31 % 1000), Y: float64(i * 57 % 1000),
+			Demand: 150, MoveRate: 0.01,
+		}})
+	}
+	line, err = json.Marshal(solveRequest{Session: resp.Session, Deltas: deltas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	final := roundTrip(t, conn, br, nil)
+	if final.Err != "" || final.Cost <= 0 || !final.Nash {
+		t.Errorf("in-flight delta dropped during shutdown: %+v", final)
+	}
+
+	var rest strings.Builder
+	for scanner.Scan() {
+		rest.WriteString(scanner.Text())
+		rest.WriteByte('\n')
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGINT")
+	}
+	if runErr != nil {
+		t.Fatalf("daemon: %v", runErr)
+	}
+	if !strings.Contains(rest.String(), "1 session(s) registered, 1 delta solve(s)") {
+		t.Errorf("shutdown summary missing session counters:\n%s", rest.String())
+	}
+}
+
 // TestServeHardeningFlagValidation covers the new -serve knobs.
 func TestServeHardeningFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-serve", "-conn-idle-timeout", "-1s"},
 		{"-serve", "-drain-timeout", "0s"},
 		{"-serve", "-slow-solve", "-1s"},
+		{"-serve", "-max-sessions", "-1"},
+		{"-serve", "-session-idle-timeout", "-1s"},
 	} {
 		var buf strings.Builder
 		if err := run(args, &buf); err == nil {

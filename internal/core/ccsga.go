@@ -98,12 +98,21 @@ func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
 	}
 
 	sched := game.schedule(res.Assignment)
+	// A converged Selfish run needs no separate Nash sweep: the final
+	// zero-switch pass evaluated every device against every slot on an
+	// assignment that never changed during the pass, which is exactly
+	// IsNash at the run's epsilon (and the run epsilon here is at least
+	// as strict as the 1e-9 verification threshold).
+	nash := res.Converged && opts.Rule == coalition.Selfish && opts.Epsilon <= 1e-9
+	if !nash {
+		nash = coalition.IsNash(game, res.Assignment, 1e-9)
+	}
 	return &CCSGAResult{
 		Schedule:   sched,
 		Switches:   res.Switches,
 		Passes:     res.Passes,
 		Converged:  res.Converged,
-		NashStable: coalition.IsNash(game, res.Assignment, 1e-9),
+		NashStable: nash,
 	}, nil
 }
 

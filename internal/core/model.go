@@ -226,6 +226,14 @@ func (cm *CostModel) deviceRow(d Device) (row []float64, standalone float64, sta
 	for j := range cm.inst.Chargers {
 		row[j] = d.MoveRate * d.Pos.Dist(cm.inst.Chargers[j].Pos)
 	}
+	standalone, standaloneCharger = cm.standaloneFor(d, row)
+	return row, standalone, standaloneCharger
+}
+
+// standaloneFor computes device d's cheapest singleton session over a
+// precomputed moving-cost row — shared by deviceRow and SetTariff (which
+// must re-rank singletons without recomputing unchanged move costs).
+func (cm *CostModel) standaloneFor(d Device, row []float64) (float64, int) {
 	best, bestJ := math.Inf(1), -1
 	for j, c := range cm.inst.Chargers {
 		if c.Capacity > 0 && d.Demand/c.Efficiency > c.Capacity*(1+1e-12) {
@@ -236,7 +244,7 @@ func (cm *CostModel) deviceRow(d Device) (row []float64, standalone float64, sta
 			best, bestJ = cost, j
 		}
 	}
-	return row, best, bestJ
+	return best, bestJ
 }
 
 // AddDevice appends one device to the model (and its instance), patching
@@ -269,6 +277,17 @@ func (cm *CostModel) AddDevice(d Device) error {
 // devices. No cost is recomputed: the remaining rows shift down in place.
 // Removing the last device leaves a temporarily empty model, valid only
 // as a staging state between mutations.
+//
+// Index-shift semantics, pinned by TestWarmStartSurvivesRemoveReAdd:
+// removing device i decrements the index of every device after it, and a
+// later AddDevice of the same ID re-enters at the end of the order.
+// Nothing keyed by device index survives a removal — but the WarmStart
+// carrier is keyed by device ID, so a remove-then-re-add round trip
+// leaves WarmStart.Seed mapping the device to its remembered charger at
+// its new index, and an otherwise-unperturbed warm re-solve still
+// confirms the previous equilibrium in one pass. Charger indices are
+// never touched by device mutations, which is what keeps the carrier's
+// remembered charger indices valid across any add/remove sequence.
 func (cm *CostModel) RemoveDevice(i int) error {
 	n := len(cm.inst.Devices)
 	if i < 0 || i >= n {
@@ -278,6 +297,76 @@ func (cm *CostModel) RemoveDevice(i int) error {
 	cm.move = append(cm.move[:i], cm.move[i+1:]...)
 	cm.standalone = append(cm.standalone[:i], cm.standalone[i+1:]...)
 	cm.standaloneCharger = append(cm.standaloneCharger[:i], cm.standaloneCharger[i+1:]...)
+	return nil
+}
+
+// UpdateDevice replaces device i in place — the "demand changed" (or
+// position-drift) patch of a streaming workload — recomputing only that
+// device's O(m) cost rows. The device keeps its index; the replacement
+// is validated like AddDevice, and on any validation failure the model
+// is left untouched. The tables stay bit-identical to a fresh
+// NewCostModel over the patched instance.
+func (cm *CostModel) UpdateDevice(i int, d Device) error {
+	n := len(cm.inst.Devices)
+	if i < 0 || i >= n {
+		return fmt.Errorf("core: update device %d of %d", i, n)
+	}
+	if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
+		return fmt.Errorf("core: device %s demand %v invalid", d.ID, d.Demand)
+	}
+	if d.MoveRate < 0 || math.IsNaN(d.MoveRate) {
+		return fmt.Errorf("core: device %s move rate %v invalid", d.ID, d.MoveRate)
+	}
+	// Movement costs depend only on position and move rate, so a
+	// demand-only update (the common streaming delta) keeps the existing
+	// row and re-derives just the standalone baseline.
+	old := cm.inst.Devices[i]
+	row := cm.move[i]
+	var standalone float64
+	var standaloneCharger int
+	if d.Pos == old.Pos && d.MoveRate == old.MoveRate {
+		standalone, standaloneCharger = cm.standaloneFor(d, row)
+	} else {
+		row, standalone, standaloneCharger = cm.deviceRow(d)
+	}
+	if standaloneCharger < 0 {
+		return fmt.Errorf("core: device %s fits no charger's session capacity", d.ID)
+	}
+	cm.inst.Devices[i] = d
+	cm.move[i] = row
+	cm.standalone[i] = standalone
+	cm.standaloneCharger[i] = standaloneCharger
+	return nil
+}
+
+// SetTariff swaps charger j's tariff — the "tariff changed" patch of a
+// streaming workload. The new tariff is validated exactly like
+// Instance.Validate would (nondecreasing, concave, zero at zero, spot-
+// checked up to the instance's total purchase), and every device's
+// standalone row is re-ranked because the tariff enters each device's
+// cheapest-singleton choice: O(n·m), with the unchanged moving-cost
+// matrix reused. On a validation failure the model is left untouched.
+// Charger indices never shift, so remembered charger indices (e.g. in a
+// WarmStart carrier) stay valid across tariff swaps.
+func (cm *CostModel) SetTariff(j int, t pricing.Tariff) error {
+	m := len(cm.inst.Chargers)
+	if j < 0 || j >= m {
+		return fmt.Errorf("core: set tariff on charger %d of %d", j, m)
+	}
+	if t == nil {
+		return fmt.Errorf("core: charger %d (%s) has no tariff", j, cm.inst.Chargers[j].ID)
+	}
+	var maxDemand float64
+	for _, d := range cm.inst.Devices {
+		maxDemand += d.Demand
+	}
+	if err := pricing.Validate(t, maxDemand/cm.inst.Chargers[j].Efficiency+1, 64); err != nil {
+		return fmt.Errorf("core: charger %d (%s): %w", j, cm.inst.Chargers[j].ID, err)
+	}
+	cm.inst.Chargers[j].Tariff = t
+	for i := range cm.inst.Devices {
+		cm.standalone[i], cm.standaloneCharger[i] = cm.standaloneFor(cm.inst.Devices[i], cm.move[i])
+	}
 	return nil
 }
 

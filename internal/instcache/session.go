@@ -1,0 +1,17 @@
+package instcache
+
+import "encoding/binary"
+
+// SessionID derives a session identifier from an instance fingerprint
+// and a per-server registration counter. The fingerprint half makes IDs
+// traceable back to the registered instance in logs; the counter half
+// keeps two registrations of the same instance distinct (each owns its
+// own WarmStart trajectory). The result is never zero, so the wire
+// protocol can treat 0 as "no session".
+func SessionID(sum [32]byte, counter uint64) uint64 {
+	id := binary.BigEndian.Uint64(sum[:8]) ^ (counter * 0x9E3779B97F4A7C15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}

@@ -1,0 +1,24 @@
+package instcache
+
+import "testing"
+
+func TestSessionIDNeverZeroAndCounterSensitive(t *testing.T) {
+	var sum [32]byte
+	if id := SessionID(sum, 0); id == 0 {
+		t.Error("all-zero inputs produced session ID 0")
+	}
+	sum[0] = 0xAB
+	a := SessionID(sum, 1)
+	b := SessionID(sum, 2)
+	if a == b {
+		t.Error("same fingerprint, different counters collided")
+	}
+	var other [32]byte
+	other[0] = 0xCD
+	if SessionID(sum, 1) == SessionID(other, 1) {
+		t.Error("different fingerprints, same counter collided")
+	}
+	if SessionID(sum, 1) != a {
+		t.Error("SessionID is not deterministic")
+	}
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// fuzzSeeds returns the checked-in interesting inputs: valid frames of
+// every type, each classified failure shape, and frame streams. The same
+// seeds exist under testdata/fuzz/FuzzWireFrame so `go test` exercises
+// them even without -fuzz.
+func fuzzSeeds() [][]byte {
+	valid := func(t Type, payload []byte) []byte {
+		var b bytes.Buffer
+		if err := NewWriter(&b).WriteFrame(t, payload); err != nil {
+			panic(err)
+		}
+		return b.Bytes()
+	}
+	seeds := [][]byte{
+		nil,
+		{Magic},
+		{Magic, Version},
+		{Magic, Version, byte(TDelta)},
+		{Magic, Version, byte(TDelta), 0x80}, // truncated varint
+		{Magic, Version, byte(TDelta), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // overflow
+		{Magic, 0x7F, byte(TDelta), 0},                // bad version
+		{'{', '"', 'x', '"', ':', '1', '}', '\n'},     // JSON, not a frame
+		{Magic, Version, byte(TRegister), 0xE8, 0x07}, // length 1000, no payload
+		valid(TOK, nil),
+		valid(TError, []byte("boom")),
+		valid(TDelta, AppendString(AppendUvarint(nil, 7), "dev-001")),
+	}
+	// A two-frame stream and a valid frame followed by garbage.
+	stream := append(append([]byte{}, valid(TRegister, []byte(`{"x":1}`))...), valid(TClose, AppendUvarint(nil, 42))...)
+	seeds = append(seeds, stream, append(valid(TOK, nil), 0xEE))
+	return seeds
+}
+
+// FuzzWireFrame is the codec's hostile-input battery: for arbitrary
+// bytes the reader must never panic and must end every stream in a
+// clean, classified error (or io.EOF); and every frame that does decode
+// must re-encode byte-identically and decode again to the same type and
+// payload (the round-trip property, checked with zero knowledge of the
+// payload's meaning).
+func FuzzWireFrame(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bufio.NewReader(bytes.NewReader(data)), 1<<16)
+		for i := 0; i < 64; i++ {
+			typ, payload, err := r.ReadFrame()
+			if err != nil {
+				// Every failure must be one of the classified decode
+				// errors, a clean EOF, or a truncation.
+				for _, ok := range []error{io.EOF, io.ErrUnexpectedEOF,
+					ErrBadMagic, ErrBadVersion, ErrTooLarge, ErrBadLength} {
+					if errors.Is(err, ok) {
+						return
+					}
+				}
+				t.Fatalf("unclassified error %v for input %q", err, data)
+			}
+
+			// Round trip: re-encode the decoded frame and decode it again.
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteFrame(typ, payload); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+			typ2, payload2, err := NewReader(bufio.NewReader(bytes.NewReader(buf.Bytes())), 1<<16).ReadFrame()
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if typ2 != typ || !bytes.Equal(payload2, payload) {
+				t.Fatalf("round trip diverged: (0x%02X, %q) vs (0x%02X, %q)", typ, payload, typ2, payload2)
+			}
+		}
+	})
+}
+
+// FuzzDecoder hammers the payload-primitive decoder: an arbitrary read
+// sequence over arbitrary bytes must never panic, and after any failure
+// the error must be sticky and classified.
+func FuzzDecoder(f *testing.F) {
+	f.Add([]byte{0x03, 'a', 'b', 'c', 0x01}, []byte{0, 1, 2, 3, 4})
+	f.Add(AppendFloat64(AppendUvarint(nil, 9), 2.5), []byte{1, 2})
+	f.Add([]byte{}, []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload, ops []byte) {
+		d := NewDecoder(payload)
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				d.Uvarint()
+			case 1:
+				d.Float64()
+			case 2:
+				d.Bytes()
+			case 3:
+				d.Byte()
+			case 4:
+				_ = d.String()
+			}
+		}
+		if err := d.Err(); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadLength) {
+				t.Fatalf("unclassified decoder error %v", err)
+			}
+		}
+	})
+}
