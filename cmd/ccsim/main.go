@@ -39,6 +39,9 @@ func run(args []string, out io.Writer) error {
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		workers = fs.Int("workers", 0, "max concurrent experiment cells (0 = all CPU cores); output is identical for every value")
 		warm    = fs.Bool("warm-start", false, "switch the online experiment (ext3) to its warm-start study: CCSGA cold vs warm on recurring arrivals")
+		shCell  = fs.Float64("shard-cell", 0, "override the scale study's (ext5-scale) grid cell side, meters (0 = per-size default)")
+		shOver  = fs.Float64("shard-overlap", 0, "override the scale study's boundary band width, meters (0 = per-size default)")
+		shWork  = fs.Int("shard-workers", 0, "pin the scale study's per-round solve workers instead of sweeping 1 and 4 (0 = sweep)")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
 		metrics = fs.String("metrics", "", "write a Prometheus text snapshot of the runs' solver diagnostics to this file (populated by experiments that use the online loop, e.g. ext3-online)")
@@ -49,6 +52,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *shCell < 0 || *shOver < 0 || *shWork < 0 {
+		return fmt.Errorf("-shard-cell, -shard-overlap and -shard-workers must be >= 0")
 	}
 	// An explicit -seed flag — even -seed 0 — is an intentional choice;
 	// only an absent flag falls through to the 2021 default.
@@ -117,7 +123,10 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := experiment.Config{Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers, WarmStart: *warm, Obs: reg}
+	cfg := experiment.Config{
+		Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers,
+		WarmStart: *warm, ShardCell: *shCell, ShardOverlap: *shOver, ShardWorkers: *shWork, Obs: reg,
+	}
 	for i, e := range exps {
 		if i > 0 {
 			fmt.Fprintln(out)

@@ -6,19 +6,27 @@ import (
 )
 
 // redactNondeterministic blanks the one class of experiment output that
-// legitimately differs run to run: fig7's wall-clock timing cells and
-// note. Everything else — every cost, ratio, count, and chart — must be
-// bit-identical across runs and worker counts, so only fig7 is touched.
+// legitimately differs run to run: wall-clock timing cells and notes —
+// fig7's timing columns and ext5-scale's devices/s column. Everything
+// else — every cost, ratio, count, and chart, including ext5's
+// decomposition columns — must be bit-identical across runs and worker
+// counts.
 func redactNondeterministic(res *Result) {
-	if res.ID != "fig7" {
-		return
-	}
-	for _, row := range res.Table.Rows {
-		for i := 1; i < len(row); i++ {
-			if row[i] != "-" {
-				row[i] = "(timing)"
+	switch res.ID {
+	case "fig7":
+		for _, row := range res.Table.Rows {
+			for i := 1; i < len(row); i++ {
+				if row[i] != "-" {
+					row[i] = "(timing)"
+				}
 			}
 		}
+	case "ext5-scale":
+		for _, row := range res.Table.Rows {
+			row[len(row)-1] = "(timing)"
+		}
+	default:
+		return
 	}
 	for i := range res.Notes {
 		res.Notes[i] = "(timing note)"

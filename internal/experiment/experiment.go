@@ -32,6 +32,15 @@ type Config struct {
 	// reporting the coalition-formation pass/switch reduction. Off, every
 	// experiment's output is byte-identical to earlier releases.
 	WarmStart bool
+	// ShardCell, ShardOverlap and ShardWorkers parametrize the scale
+	// study (ext5-scale): a positive ShardCell overrides its per-size
+	// default cell side (meters), ShardOverlap likewise the boundary
+	// band, and a positive ShardWorkers pins the per-round solve
+	// parallelism instead of sweeping it. Other experiments ignore all
+	// three. Set from cmd/ccsim's -shard-* flags.
+	ShardCell    float64
+	ShardOverlap float64
+	ShardWorkers int
 	// Obs, when non-nil, collects solver diagnostics from the
 	// experiments that run the online loop (ccsim -metrics). The
 	// registry is safe for the concurrent cells; table output is
@@ -106,6 +115,7 @@ func Registry() []Experiment {
 		ext2(),
 		ext3(),
 		ext4(),
+		ext5(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

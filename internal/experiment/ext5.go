@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/online"
+	"repro/internal/rng"
+	"repro/internal/shard"
+)
+
+// ext5 is the scale study behind the ROADMAP's "million-device online
+// simulation via spatial sharding" item: a clustered large-field
+// population (gen.LargeField) returns for recharging visit after visit,
+// and every visit is solved as one whole-population round through
+// online.Config.Shard — gridded, solved per cell by warm-started CCSGA,
+// boundary devices reconciled through the overlap band. The table sweeps
+// instance size × per-round workers; the decomposition columns (shards,
+// replication, reassignments, cost) are byte-identical down the worker
+// sweep — the worker-independence guarantee, visible in the output —
+// while the devices/s column reports measured throughput.
+//
+// Like fig7, ext5 ignores Config.Workers and runs its cells serially:
+// they measure wall-clock throughput, and concurrent cells contending
+// for cores would distort the very quantity being reported. The timing
+// column is redacted by the golden/determinism tests.
+func ext5() Experiment {
+	return Experiment{
+		ID:    "ext5-scale",
+		Title: "Extension: spatially sharded online solve — scaling with field size and workers",
+		Run: func(cfg Config) (*Result, error) {
+			cfg = cfg.withDefaults()
+			sizes := []int{2000, 8000, 32000}
+			visits := 3
+			if cfg.Quick {
+				sizes = []int{400, 1600}
+				visits = 2
+			}
+			workerSweep := []int{1, 4}
+			if cfg.ShardWorkers > 0 {
+				workerSweep = []int{cfg.ShardWorkers}
+			}
+
+			geometry := "cell ≈ 2×2 chargers, overlap = cell/4"
+			if cfg.ShardCell > 0 || cfg.ShardOverlap > 0 {
+				geometry = "custom shard geometry"
+			}
+			tbl := &Table{
+				Title: fmt.Sprintf("Ext 5 — sharded recurring solve, %d visits/device, %s",
+					visits, geometry),
+				Columns: []string{"devices", "chargers", "workers", "shards",
+					"repl/round", "reassign/round", "cost/device", "devices/s"},
+			}
+			var firstRate, lastRate float64
+			var lastN int
+			for _, n := range sizes {
+				p := gen.LargeField(n, maxInt(4, n/100))
+				in, err := gen.Instance(rng.DeriveSeed(cfg.Seed, "ext5", fmt.Sprintf("n%d", n)), p)
+				if err != nil {
+					return nil, err
+				}
+				arrivals, err := online.GenerateRecurringVisits(
+					rng.DeriveSeed(cfg.Seed, "ext5", fmt.Sprintf("visits-n%d", n)),
+					in.Devices, visits, 600, 60, 900, 1200)
+				if err != nil {
+					return nil, err
+				}
+				// Cell ≈ a 2×2 block of the charger grid (at least a 2×2
+				// decomposition), band = a quarter cell: wide enough that
+				// boundary devices can defect to a neighboring cell's
+				// session, narrow enough that replication stays a small
+				// fraction of the population.
+				cellsPerSide := math.Max(2, math.Round(math.Sqrt(float64(p.NumChargers))/2))
+				cell := p.FieldSide / cellsPerSide
+				if cfg.ShardCell > 0 {
+					cell = cfg.ShardCell
+				}
+				overlap := cell / 4
+				if cfg.ShardOverlap > 0 {
+					overlap = cfg.ShardOverlap
+				}
+				for _, w := range workerSweep {
+					oc := online.Config{
+						Chargers:  in.Chargers,
+						Arrivals:  arrivals,
+						Policy:    online.Threshold{K: n},
+						Scheduler: &core.CCSGAScheduler{},
+						Field:     in.Field,
+						Shard:     shard.Config{CellSize: cell, Overlap: overlap, Workers: w},
+						Obs:       cfg.Obs,
+					}
+					start := time.Now()
+					m, err := online.Run(oc)
+					if err != nil {
+						return nil, err
+					}
+					elapsed := time.Since(start).Seconds()
+					repl, reass, shards := 0, 0, 0
+					for _, rs := range m.RoundStats {
+						repl += rs.Replicated
+						reass += rs.Reassigned
+						if rs.Shards > shards {
+							shards = rs.Shards
+						}
+					}
+					rate := float64(m.Served) / elapsed
+					if firstRate == 0 {
+						firstRate = rate
+					}
+					lastRate, lastN = rate, n
+					tbl.AddRow(
+						fmt.Sprintf("%d", n),
+						fmt.Sprintf("%d", p.NumChargers),
+						fmt.Sprintf("%d", w),
+						fmt.Sprintf("%d", shards),
+						fmt.Sprintf("%.0f", float64(repl)/float64(m.Rounds)),
+						fmt.Sprintf("%.0f", float64(reass)/float64(m.Rounds)),
+						fmt.Sprintf("%.3f", m.TotalCost/float64(m.Served)),
+						fmt.Sprintf("%.0f", rate))
+				}
+			}
+			return &Result{ID: "ext5-scale", Table: tbl, Notes: []string{
+				fmt.Sprintf("sharded rounds sustain ~%.0f devices/s at n=%d (vs ~%.0f at the smallest size): per-cell games stay small as the field grows, so throughput scales with the charger deployment, not the population",
+					lastRate, lastN, firstRate),
+			}}, nil
+		},
+	}
+}

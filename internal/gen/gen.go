@@ -91,6 +91,28 @@ func Default() Params {
 	}
 }
 
+// LargeField returns parameters for a production-scale instance: devices
+// drawn from Gaussian hotspots (sensor deployments cluster around the
+// phenomena they monitor), chargers on a regular grid (a planned service
+// deployment), and a field side growing with sqrt(devices) so device
+// density — and with it the per-area coalition size that spatial
+// sharding banks on — stays at the calibrated Default() level however
+// large the instance gets. The cluster count scales with the population
+// and each hotspot's sigma with the field, so large fields get many
+// small hotspots rather than a few huge ones.
+func LargeField(devices, chargers int) Params {
+	p := Default()
+	// Default() calibrates 10 devices on a 1 km side; hold that density.
+	p.FieldSide = 1000 * math.Sqrt(float64(devices)/float64(p.NumDevices))
+	p.NumDevices = devices
+	p.NumChargers = chargers
+	p.DeviceLayout = Clustered
+	p.ChargerLayout = Grid
+	p.Clusters = devices/400 + 3
+	p.ClusterSigma = 0.02 * p.FieldSide
+	return p
+}
+
 // Validate checks the parameters are internally consistent.
 func (p Params) Validate() error {
 	switch {

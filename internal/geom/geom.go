@@ -106,6 +106,16 @@ func (r Rect) Clamp(p Point) Point {
 // on any intra-field distance.
 func (r Rect) Diagonal() float64 { return math.Hypot(r.Width(), r.Height()) }
 
+// DistTo returns the Euclidean distance from p to the nearest point of r:
+// zero when p lies inside r or on its boundary. Spatial sharding uses it
+// to decide whether a device sits within a neighboring cell's overlap
+// band.
+func (r Rect) DistTo(p Point) float64 {
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return math.Hypot(dx, dy)
+}
+
 // Nearest returns the index of the point in candidates closest to p, and
 // the distance to it. It returns (-1, +Inf) when candidates is empty.
 func Nearest(p Point, candidates []Point) (int, float64) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/rng"
+	"repro/internal/shard"
 )
 
 // Arrival is one device's service request.
@@ -101,6 +102,19 @@ type Config struct {
 	// are additionally maintained incrementally (CostModel.AddDevice /
 	// RemoveDevice) instead of being rebuilt from scratch.
 	WarmStart bool
+	// Shard, when Shard.CellSize > 0, solves each round spatially
+	// sharded: the field is gridded once, each cell's chargers form a
+	// sub-instance solved by a warm-started per-shard CCSGA in parallel,
+	// and boundary devices are reconciled through Shard.Overlap (see
+	// internal/shard). The per-shard warm carriers persist across
+	// rounds, so recurring workloads re-solve only the perturbation —
+	// sharding replaces rather than composes with WarmStart (setting
+	// both is an error: the global incrementally-patched CostModel that
+	// WarmStart maintains is exactly the O(devices × chargers) table
+	// sharding exists to avoid). Requires a core.WarmScheduler and a
+	// non-degenerate Field. The zero value leaves every code path —
+	// and every output byte — exactly as without this field.
+	Shard shard.Config
 	// Obs, when non-nil, receives the run's solver diagnostics as
 	// labeled metrics (rounds, served devices, batch sizes, CCSGA
 	// passes/switches, Nash-stability, deadline misses) so service
@@ -151,8 +165,14 @@ type RoundStat struct {
 	Passes   int
 	Switches int
 	// NashStable reports whether the round's assignment was verified to
-	// be a pure Nash equilibrium.
+	// be a pure Nash equilibrium (of each shard's game when sharded).
 	NashStable bool
+	// Shards, Replicated and Reassigned are the spatial-decomposition
+	// diagnostics when Config.Shard is enabled (see shard.Result); all
+	// zero otherwise.
+	Shards     int
+	Replicated int
+	Reassigned int
 }
 
 // Metrics summarizes an online run.
@@ -194,6 +214,20 @@ func Run(cfg Config) (*Metrics, error) {
 	warmSched, warmOK := cfg.Scheduler.(core.WarmScheduler)
 	if cfg.WarmStart && !warmOK {
 		return nil, fmt.Errorf("online: WarmStart requires a core.WarmScheduler, got %s", cfg.Scheduler.Name())
+	}
+	var planner *shard.Planner
+	if cfg.Shard.CellSize > 0 {
+		if !warmOK {
+			return nil, fmt.Errorf("online: Shard requires a core.WarmScheduler, got %s", cfg.Scheduler.Name())
+		}
+		if cfg.WarmStart {
+			return nil, errors.New("online: Shard and WarmStart are mutually exclusive (sharding carries warm state per shard)")
+		}
+		p, err := shard.NewPlanner(cfg.Field, cfg.Chargers, warmSched, cfg.Shard)
+		if err != nil {
+			return nil, fmt.Errorf("online: %w", err)
+		}
+		planner = p
 	}
 	guard := cfg.DeadlineGuard
 	if guard <= 0 {
@@ -252,8 +286,62 @@ func Run(cfg Config) (*Metrics, error) {
 		}
 		return nil
 	}
+	// account settles the served batch's waiting-time and deadline
+	// bookkeeping and resets the batch state — shared by the sharded and
+	// whole-field round paths.
+	account := func(now float64) {
+		ins.batchSize.Observe(float64(len(waiting)))
+		ins.served.Add(uint64(len(waiting)))
+		for _, a := range waiting {
+			wait := now - a.At
+			waitSum += wait
+			if wait > m.MaxWait {
+				m.MaxWait = wait
+			}
+			if now > a.Deadline {
+				m.DeadlineMisses++
+				ins.misses.Inc()
+			}
+			m.Served++
+		}
+		waiting = waiting[:0]
+		forcedMin = math.Inf(1)
+		lastRound = now
+	}
 	runRound := func(now float64) error {
 		if len(waiting) == 0 {
+			return nil
+		}
+		if planner != nil {
+			devs := make([]core.Device, len(waiting))
+			for i, a := range waiting {
+				devs[i] = a.Device
+			}
+			res, err := planner.Solve(devs)
+			if err != nil {
+				return fmt.Errorf("online: round at %v: %w", now, err)
+			}
+			m.TotalCost += res.TotalCost
+			m.Rounds++
+			m.TotalPasses += res.Passes
+			m.TotalSwitches += res.Switches
+			m.RoundStats = append(m.RoundStats, RoundStat{
+				At:         now,
+				Devices:    len(waiting),
+				Passes:     res.Passes,
+				Switches:   res.Switches,
+				NashStable: res.NashStable,
+				Shards:     res.Shards,
+				Replicated: res.Replicated,
+				Reassigned: res.Reassigned,
+			})
+			ins.rounds.Inc()
+			ins.passes.Add(uint64(res.Passes))
+			ins.switches.Add(uint64(res.Switches))
+			if !res.NashStable {
+				ins.unstable.Inc()
+			}
+			account(now)
 			return nil
 		}
 		var (
@@ -309,22 +397,7 @@ func Run(cfg Config) (*Metrics, error) {
 		m.TotalCost += cm.TotalCost(sched)
 		m.Rounds++
 		ins.rounds.Inc()
-		ins.batchSize.Observe(float64(len(waiting)))
-		ins.served.Add(uint64(len(waiting)))
-		for _, a := range waiting {
-			wait := now - a.At
-			waitSum += wait
-			if wait > m.MaxWait {
-				m.MaxWait = wait
-			}
-			if now > a.Deadline {
-				m.DeadlineMisses++
-				ins.misses.Inc()
-			}
-			m.Served++
-		}
-		waiting = waiting[:0]
-		forcedMin = math.Inf(1)
+		account(now)
 		if cfg.WarmStart {
 			// Served devices leave the persistent round instance; popping
 			// from the end keeps each removal O(1).
@@ -334,7 +407,6 @@ func Run(cfg Config) (*Metrics, error) {
 				}
 			}
 		}
-		lastRound = now
 		return nil
 	}
 
@@ -449,6 +521,38 @@ func GenerateArrivals(seed int64, n int, meanInterarrival, patienceMin, patience
 		a.Deadline = now + rng.Uniform(r, patienceMin, patienceMax)
 		out = append(out, a)
 	}
+	return out, nil
+}
+
+// GenerateRecurringVisits builds a recurring workload over an existing
+// device population — typically a gen.LargeField clustered instance whose
+// spatial structure should carry into the trace. Device i's visit v
+// arrives at v·period plus uniform jitter in [0, jitter) with a patience
+// window uniform in [patienceMin, patienceMax]; position, demand and move
+// rate are the device's own and stay fixed across visits. IDs are stable,
+// so both warm-started and sharded runs map returning devices onto their
+// previous equilibria.
+func GenerateRecurringVisits(seed int64, devices []core.Device, visits int,
+	period, jitter, patienceMin, patienceMax float64) ([]Arrival, error) {
+	if len(devices) == 0 || visits < 1 {
+		return nil, fmt.Errorf("online: %d devices, %d visits: both must be >= 1", len(devices), visits)
+	}
+	if period <= 0 || jitter < 0 || jitter >= period || patienceMin <= 0 || patienceMax < patienceMin {
+		return nil, fmt.Errorf("online: bad timing parameters")
+	}
+	r := rng.Derive(seed, "online-visits")
+	out := make([]Arrival, 0, len(devices)*visits)
+	for v := 0; v < visits; v++ {
+		for i := range devices {
+			at := float64(v)*period + rng.Uniform(r, 0, jitter)
+			out = append(out, Arrival{
+				Device:   devices[i],
+				At:       at,
+				Deadline: at + rng.Uniform(r, patienceMin, patienceMax),
+			})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].At < out[b].At })
 	return out, nil
 }
 

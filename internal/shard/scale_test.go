@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// scaleGeometry mirrors the ext5-scale experiment's default grid: about
+// sqrt(m)/2 cells per side so shards hold a handful of chargers each,
+// with a quarter-cell overlap band.
+func scaleGeometry(p gen.Params, workers int) Config {
+	cellsPerSide := 2.0
+	for cellsPerSide*cellsPerSide*16 < float64(p.NumChargers) {
+		cellsPerSide++
+	}
+	cell := p.FieldSide / cellsPerSide
+	return Config{CellSize: cell, Overlap: cell / 4, Workers: workers}
+}
+
+// scaleRecord is one row of the BENCH_scale artifact (see BENCH_scale.json
+// at the repo root and the CI bench-smoke job).
+type scaleRecord struct {
+	Benchmark     string  `json:"benchmark"`
+	Devices       int     `json:"devices"`
+	Chargers      int     `json:"chargers"`
+	Workers       int     `json:"workers"`
+	Shards        int     `json:"shards"`
+	Replicated    int     `json:"replicated"`
+	Rounds        int     `json:"rounds"`
+	SecondsRound  float64 `json:"seconds_per_round"`
+	RoundsPerSec  float64 `json:"rounds_per_s"`
+	DevicesPerSec float64 `json:"devices_per_s"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
+func writeScaleArtifact(tb testing.TB, recs []scaleRecord) {
+	out := os.Getenv("BENCH_SCALE_OUT")
+	if out == "" {
+		return
+	}
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	tb.Logf("wrote %d scale records to %s", len(recs), out)
+}
+
+// BenchmarkShardScale50k is the CI-sized scale smoke: one recurring
+// round over a 50k-device / 500-charger clustered field. Set
+// BENCH_SCALE_OUT=path to emit the measured throughput as a JSON
+// artifact (the bench-smoke job uploads it).
+func BenchmarkShardScale50k(b *testing.B) {
+	const devices, chargers = 50_000, 500
+	p := gen.LargeField(devices, chargers)
+	in, err := gen.Instance(2021, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := scaleGeometry(p, 0) // Workers 0 = GOMAXPROCS
+	planner, err := NewPlanner(in.Field, in.Chargers, &core.CCSGAScheduler{}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = planner.Solve(in.Devices)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perRound := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(devices)/perRound, "devices/s")
+	b.ReportMetric(1/perRound, "rounds/s")
+	writeScaleArtifact(b, []scaleRecord{{
+		Benchmark:     "BenchmarkShardScale50k",
+		Devices:       devices,
+		Chargers:      chargers,
+		Workers:       runtime.GOMAXPROCS(0),
+		Shards:        res.Shards,
+		Replicated:    res.Replicated,
+		Rounds:        b.N,
+		SecondsRound:  perRound,
+		RoundsPerSec:  1 / perRound,
+		DevicesPerSec: float64(devices) / perRound,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}})
+}
+
+// TestMillionDeviceAcceptance is the issue's headline acceptance run: a
+// 1,000,000-device / 1,000-charger recurring trace, solved twice per
+// geometry — Workers=1 and Workers=8 — at two different shard sizes,
+// asserting the schedule bytes are identical round by round across
+// worker counts. It allocates gigabytes and runs for minutes, so it
+// only runs when SHARD_SCALE_ACCEPT=1; BENCH_SCALE_OUT additionally
+// captures the measured rounds/s per configuration (the numbers in
+// BENCH_scale.json come from this test).
+func TestMillionDeviceAcceptance(t *testing.T) {
+	if os.Getenv("SHARD_SCALE_ACCEPT") != "1" {
+		t.Skip("set SHARD_SCALE_ACCEPT=1 to run the 1M-device acceptance trace")
+	}
+	const devices, chargers, rounds = 1_000_000, 1_000, 2
+	p := gen.LargeField(devices, chargers)
+	in, err := gen.Instance(2021, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := scaleGeometry(p, 0)
+	var recs []scaleRecord
+	for _, geo := range []struct {
+		name    string
+		cell    float64
+		overlap float64
+	}{
+		{"default-grid", base.CellSize, base.Overlap},
+		{"fine-grid", base.CellSize / 1.5, base.CellSize / 6},
+	} {
+		var refTrace [][]byte
+		for _, workers := range []int{1, 8} {
+			planner, err := NewPlanner(in.Field, in.Chargers, &core.CCSGAScheduler{},
+				Config{CellSize: geo.cell, Overlap: geo.overlap, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var trace [][]byte
+			var last *Result
+			start := time.Now()
+			for r := 0; r < rounds; r++ {
+				res, err := planner.Solve(in.Devices)
+				if err != nil {
+					t.Fatalf("%s workers=%d round %d: %v", geo.name, workers, r, err)
+				}
+				trace = append(trace, EncodeSchedule(res.Schedule))
+				last = res
+			}
+			elapsed := time.Since(start).Seconds()
+			if err := last.Schedule.Validate(devices, chargers); err != nil {
+				t.Fatalf("%s workers=%d: final schedule: %v", geo.name, workers, err)
+			}
+			if !last.NashStable {
+				t.Errorf("%s workers=%d: final round not Nash-stable", geo.name, workers)
+			}
+			perRound := elapsed / rounds
+			t.Logf("%s workers=%d: %d shards, %d replicated, %.1fs/round (%.0f devices/s, %.3f rounds/s)",
+				geo.name, workers, last.Shards, last.Replicated, perRound,
+				float64(devices)/perRound, 1/perRound)
+			recs = append(recs, scaleRecord{
+				Benchmark:     fmt.Sprintf("TestMillionDeviceAcceptance/%s", geo.name),
+				Devices:       devices,
+				Chargers:      chargers,
+				Workers:       workers,
+				Shards:        last.Shards,
+				Replicated:    last.Replicated,
+				Rounds:        rounds,
+				SecondsRound:  perRound,
+				RoundsPerSec:  1 / perRound,
+				DevicesPerSec: float64(devices) / perRound,
+				GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			})
+			if refTrace == nil {
+				refTrace = trace
+				continue
+			}
+			for r := range trace {
+				if !bytes.Equal(trace[r], refTrace[r]) {
+					t.Errorf("%s: round %d schedule bytes differ between Workers=1 and Workers=%d",
+						geo.name, r, workers)
+				}
+			}
+		}
+	}
+	writeScaleArtifact(t, recs)
+}

@@ -1,0 +1,64 @@
+package tour
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MaxEncodedStops bounds the stop count DecodeOrder accepts. Mobile
+// chargers serve at most a few dozen sessions per dispatch; the cap
+// only exists so a corrupt or adversarial count cannot force a huge
+// allocation before validation fails.
+const MaxEncodedStops = 1 << 20
+
+// EncodeOrder renders a visiting order in the compact binary form used
+// to hand tours between planner and dispatcher: a uvarint stop count
+// followed by each stop index as a uvarint. Encoding is canonical —
+// a given order always produces the same bytes, and DecodeOrder of
+// those bytes returns the order unchanged.
+func EncodeOrder(order []int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(order)))
+	for _, v := range order {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	return buf
+}
+
+// DecodeOrder parses EncodeOrder's format and validates that the result
+// is a visiting order in the package's sense: a permutation of [0, n)
+// for the encoded count n — every assigned service point visited
+// exactly once, none twice, none skipped. Trailing bytes, out-of-range
+// indices, duplicates and truncations are all errors, so a successful
+// decode is safe to hand straight to Length or TwoOpt.
+func DecodeOrder(data []byte) ([]int, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("tour: decode: bad stop count")
+	}
+	if n > MaxEncodedStops {
+		return nil, fmt.Errorf("tour: decode: %d stops exceeds the %d cap", n, MaxEncodedStops)
+	}
+	rest := data[k:]
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	for i := 0; i < int(n); i++ {
+		v, k := binary.Uvarint(rest)
+		if k <= 0 {
+			return nil, fmt.Errorf("tour: decode: truncated at stop %d of %d", i, n)
+		}
+		rest = rest[k:]
+		if v >= n {
+			return nil, fmt.Errorf("tour: decode: stop index %d out of range [0,%d)", v, n)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("tour: decode: stop %d visited twice", v)
+		}
+		seen[v] = true
+		order = append(order, int(v))
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("tour: decode: %d trailing bytes", len(rest))
+	}
+	return order, nil
+}

@@ -1,0 +1,150 @@
+package tour
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestGeneratedToursVisitEveryStopOnceAndRoundTrip is the package's core
+// property: every tour the planner can produce — nearest-neighbor,
+// 2-opt-refined, or the full Plan pipeline — visits each assigned
+// service point exactly once, and survives a round trip through the
+// order codec unchanged.
+func TestGeneratedToursVisitEveryStopOnceAndRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(14)
+		stops := randStops(r, n)
+		start := geom.Pt(r.Float64()*100, r.Float64()*100)
+
+		nn := NearestNeighbor(start, stops)
+		opt := TwoOpt(start, stops, nn)
+		planned, _, err := Plan(start, stops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			name  string
+			order []int
+		}{
+			{"nearest-neighbor", nn},
+			{"two-opt", opt},
+			{"plan", planned},
+		} {
+			if !isPermutation(tc.order, n) {
+				t.Fatalf("trial %d: %s tour %v does not visit each of %d stops exactly once", trial, tc.name, tc.order, n)
+			}
+			enc := EncodeOrder(tc.order)
+			dec, err := DecodeOrder(enc)
+			if err != nil {
+				t.Fatalf("trial %d: %s tour failed to decode its own encoding: %v", trial, tc.name, err)
+			}
+			if len(dec) != len(tc.order) {
+				t.Fatalf("trial %d: %s round trip changed length: %v vs %v", trial, tc.name, dec, tc.order)
+			}
+			for i := range dec {
+				if dec[i] != tc.order[i] {
+					t.Fatalf("trial %d: %s round trip changed the order: %v vs %v", trial, tc.name, dec, tc.order)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeOrderCanonical pins the wire bytes for a few known orders so
+// the format cannot drift silently.
+func TestEncodeOrderCanonical(t *testing.T) {
+	for _, tc := range []struct {
+		order []int
+		want  []byte
+	}{
+		{nil, []byte{0x00}},
+		{[]int{0}, []byte{0x01, 0x00}},
+		{[]int{1, 0, 2}, []byte{0x03, 0x01, 0x00, 0x02}},
+	} {
+		if got := EncodeOrder(tc.order); !bytes.Equal(got, tc.want) {
+			t.Errorf("EncodeOrder(%v) = %x, want %x", tc.order, got, tc.want)
+		}
+	}
+	// An empty encoding decodes to the empty tour, not an error.
+	dec, err := DecodeOrder([]byte{0x00})
+	if err != nil || len(dec) != 0 {
+		t.Errorf("DecodeOrder(0x00) = %v, %v; want empty order", dec, err)
+	}
+}
+
+// TestDecodeOrderRejectsInvalid pins every validation branch: a decoded
+// order is guaranteed to be a visiting order, so each way an encoding
+// can fail to be one must error.
+func TestDecodeOrderRejectsInvalid(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty input", nil, "bad stop count"},
+		{"truncated count", []byte{0x80}, "bad stop count"},
+		{"truncated body", []byte{0x03, 0x00}, "truncated"},
+		{"index out of range", []byte{0x01, 0x01}, "out of range"},
+		{"duplicate stop", []byte{0x02, 0x00, 0x00}, "visited twice"},
+		{"skipped stop via dup", []byte{0x03, 0x00, 0x02, 0x02}, "visited twice"},
+		{"trailing bytes", []byte{0x01, 0x00, 0xff}, "trailing"},
+		{"absurd count", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, "cap"},
+	} {
+		_, err := DecodeOrder(tc.data)
+		if err == nil {
+			t.Errorf("%s: DecodeOrder(%x) succeeded, want error", tc.name, tc.data)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// FuzzOrderCodec drives DecodeOrder with arbitrary bytes: it must never
+// panic, every successful decode must be a true visiting order, and
+// re-encoding a decode must reach a canonical fixed point (Uvarint
+// accepts non-minimal varints, so arbitrary input bytes need not equal
+// their re-encoding — but the re-encoding must decode back to the same
+// order and re-encode to itself).
+func FuzzOrderCodec(f *testing.F) {
+	f.Add([]byte{0x00})                               // empty tour
+	f.Add([]byte{0x01, 0x00})                         // single stop
+	f.Add([]byte{0x03, 0x01, 0x00, 0x02})             // small permutation
+	f.Add(EncodeOrder([]int{4, 2, 0, 1, 3}))          // planner-sized
+	f.Add([]byte{0x80, 0x00})                         // non-minimal varint count
+	f.Add([]byte{0x02, 0x00, 0x00})                   // duplicate stop
+	f.Add([]byte{0x01, 0x01})                         // out of range
+	f.Add([]byte{0x01, 0x00, 0xff})                   // trailing bytes
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // truncated huge count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		order, err := DecodeOrder(data)
+		if err != nil {
+			return
+		}
+		if !isPermutation(order, len(order)) {
+			t.Fatalf("decode of %x produced a non-permutation: %v", data, order)
+		}
+		enc := EncodeOrder(order)
+		again, err := DecodeOrder(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of %v does not decode: %v", order, err)
+		}
+		if len(again) != len(order) {
+			t.Fatalf("re-encode round trip changed length: %v vs %v", again, order)
+		}
+		for i := range again {
+			if again[i] != order[i] {
+				t.Fatalf("re-encode round trip changed the order: %v vs %v", again, order)
+			}
+		}
+		if enc2 := EncodeOrder(again); !bytes.Equal(enc2, enc) {
+			t.Fatalf("encoding is not a fixed point: %x then %x", enc, enc2)
+		}
+	})
+}
