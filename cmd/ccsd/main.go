@@ -41,24 +41,27 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ccsd", flag.ContinueOnError)
 	var (
-		listen      = fs.String("listen", "127.0.0.1:0", "listen address")
-		devices     = fs.Int("devices", 1, "number of device agents to wait for")
-		chargers    = fs.Int("chargers", 1, "number of charger agents to wait for")
-		schedName   = fs.String("scheduler", "CCSA", "NONCOOP | CCSGA | CCSA | OPT")
-		timeout     = fs.Duration("timeout", 60*time.Second, "registration timeout")
-		workers     = fs.Int("workers", 0, "cap OS threads used for the scheduling solve, for daemons sharing a host (0 = all cores)")
-		rpcTimeout  = fs.Duration("rpc-timeout", testbed.DefaultRPCTimeout, "per-RPC deadline on agent connections")
-		maxRetries  = fs.Int("max-retries", testbed.DefaultMaxRetries, "extra attempts for idempotent agent RPCs")
-		minQuorum   = fs.Int("min-quorum", 0, "proceed with a partial run if at least this many devices are responsive (0 = require all)")
-		serve       = fs.Bool("serve", false, "run as a stateless solve service: newline-delimited JSON requests on -listen instead of the agent testbed")
-		cacheSize   = fs.Int("cache-size", 1024, "solution cache capacity in entries for -serve mode")
-		cacheOff    = fs.Bool("cache-off", false, "disable the solution cache in -serve mode")
-		metricsAddr = fs.String("metrics-addr", "", "also serve /metrics, /healthz and /debug/pprof on this address in -serve mode (empty = off)")
-		connIdle    = fs.Duration("conn-idle-timeout", 3*time.Minute, "close a -serve connection idle for this long (0 = never)")
-		maxSessions = fs.Int("max-sessions", 1024, "cap live -serve sessions; LRU-evicted beyond it (0 = session protocol off)")
-		sessionIdle = fs.Duration("session-idle-timeout", 10*time.Minute, "expire a -serve session untouched for this long (0 = never)")
-		drainWait   = fs.Duration("drain-timeout", 10*time.Second, "on shutdown, wait this long for in-flight -serve requests before force-closing")
-		slowSolve   = fs.Duration("slow-solve", time.Second, "log a slow_solve event for -serve requests slower than this (0 = off)")
+		listen       = fs.String("listen", "127.0.0.1:0", "listen address")
+		devices      = fs.Int("devices", 1, "number of device agents to wait for")
+		chargers     = fs.Int("chargers", 1, "number of charger agents to wait for")
+		schedName    = fs.String("scheduler", "CCSA", "NONCOOP | CCSGA | CCSA | OPT")
+		timeout      = fs.Duration("timeout", 60*time.Second, "registration timeout")
+		workers      = fs.Int("workers", 0, "cap OS threads used for the scheduling solve, for daemons sharing a host (0 = all cores)")
+		rpcTimeout   = fs.Duration("rpc-timeout", testbed.DefaultRPCTimeout, "per-RPC deadline on agent connections")
+		maxRetries   = fs.Int("max-retries", testbed.DefaultMaxRetries, "extra attempts for idempotent agent RPCs")
+		minQuorum    = fs.Int("min-quorum", 0, "proceed with a partial run if at least this many devices are responsive (0 = require all)")
+		serve        = fs.Bool("serve", false, "run as a stateless solve service: newline-delimited JSON requests on -listen instead of the agent testbed")
+		cacheSize    = fs.Int("cache-size", 1024, "solution cache capacity in entries for -serve mode")
+		cacheOff     = fs.Bool("cache-off", false, "disable the solution cache in -serve mode")
+		metricsAddr  = fs.String("metrics-addr", "", "also serve /metrics, /healthz and /debug/pprof on this address in -serve mode (empty = off)")
+		connIdle     = fs.Duration("conn-idle-timeout", 3*time.Minute, "close a -serve connection idle for this long (0 = never)")
+		maxSessions  = fs.Int("max-sessions", 1024, "cap live -serve sessions; LRU-evicted beyond it (0 = session protocol off)")
+		sessionIdle  = fs.Duration("session-idle-timeout", 10*time.Minute, "expire a -serve session untouched for this long (0 = never)")
+		drainWait    = fs.Duration("drain-timeout", 10*time.Second, "on shutdown, wait this long for in-flight -serve requests before force-closing")
+		slowSolve    = fs.Duration("slow-solve", time.Second, "log a slow_solve event for -serve requests slower than this (0 = off)")
+		shardCell    = fs.Float64("shard-cell", 0, "in -serve mode, solve warm-capable one-shot requests cell-parallel with this spatial cell size in meters (0 = whole-field)")
+		shardOverlap = fs.Float64("shard-overlap", 0, "halo width in meters shared between neighboring shard cells (needs -shard-cell)")
+		shardWorkers = fs.Int("shard-workers", 0, "concurrent shard cell solves per request (0 = GOMAXPROCS; results are identical for every value)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +102,15 @@ func run(args []string, out io.Writer) error {
 		if *sessionIdle < 0 {
 			return fmt.Errorf("-session-idle-timeout must be >= 0, got %v", *sessionIdle)
 		}
+		if *shardCell < 0 {
+			return fmt.Errorf("-shard-cell must be >= 0, got %v", *shardCell)
+		}
+		if *shardOverlap < 0 {
+			return fmt.Errorf("-shard-overlap must be >= 0, got %v", *shardOverlap)
+		}
+		if *shardCell == 0 && (*shardOverlap != 0 || *shardWorkers != 0) {
+			return fmt.Errorf("-shard-overlap and -shard-workers need -shard-cell > 0")
+		}
 		return runServe(serveConfig{
 			listen:       *listen,
 			cacheSize:    *cacheSize,
@@ -109,6 +121,9 @@ func run(args []string, out io.Writer) error {
 			slowSolve:    *slowSolve,
 			maxSessions:  *maxSessions,
 			sessionTTL:   *sessionIdle,
+			shardCell:    *shardCell,
+			shardOverlap: *shardOverlap,
+			shardWorkers: *shardWorkers,
 		}, out)
 	}
 

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/instcache"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -177,6 +179,11 @@ type serveOpts struct {
 	// sessionTTL expires a session idle for this long; 0 disables
 	// expiry.
 	sessionTTL time.Duration
+	// shard, when CellSize > 0, routes one-shot solves by warm-capable
+	// schedulers through internal/shard so large instances solve
+	// cell-parallel server-side. The zero value leaves the whole-field
+	// path byte-identical to a server without the option.
+	shard shard.Config
 	// reg, when non-nil, turns the metrics instruments on.
 	reg *obs.Registry
 	// log receives operational events (slow solves, dropped
@@ -213,6 +220,9 @@ type solveServer struct {
 	connMu  sync.Mutex
 	conns   map[net.Conn]struct{}
 
+	// shard is the server-side sharding geometry (CellSize 0 = off).
+	shard shard.Config
+
 	// solveDelay stretches every solve — a test hook for exercising the
 	// drain path deterministically. Never set in production.
 	solveDelay time.Duration
@@ -244,6 +254,15 @@ func newSolveServer(opts serveOpts) (*solveServer, error) {
 	}
 	if opts.maxSessions > 0 {
 		s.sessions = newSessionManager(opts.maxSessions, opts.sessionTTL)
+	}
+	if c := opts.shard; c.CellSize != 0 {
+		switch {
+		case c.CellSize < 0 || math.IsNaN(c.CellSize) || math.IsInf(c.CellSize, 0):
+			return nil, fmt.Errorf("shard cell size %v invalid (need > 0, or 0 to disable)", c.CellSize)
+		case c.Overlap < 0 || math.IsNaN(c.Overlap) || math.IsInf(c.Overlap, 0):
+			return nil, fmt.Errorf("shard overlap %v invalid (need >= 0)", c.Overlap)
+		}
+		s.shard = c
 	}
 	s.register(opts.reg)
 	return s, nil
@@ -395,13 +414,35 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 		}
 		return plan, cm.TotalCost(plan), nil
 	}
+	// Server-side sharding: with a cell size configured and a scheduler
+	// that can warm-start (the property internal/shard relies on), large
+	// one-shot solves go cell-parallel. Non-warm schedulers keep the
+	// whole-field path.
+	options := ""
+	if ws, ok := sched.(core.WarmScheduler); ok && s.shard.CellSize > 0 {
+		cfg := s.shard
+		// The cache key carries the sharding geometry — a sharded schedule
+		// is a different artifact than a whole-field one — but not Workers,
+		// which shard pins to be byte-identical at every value.
+		options = fmt.Sprintf("shard:c=%g,o=%g", cfg.CellSize, cfg.Overlap)
+		solve = func() (*core.Schedule, float64, error) {
+			if s.solveDelay > 0 {
+				time.Sleep(s.solveDelay)
+			}
+			res, err := shard.Solve(in, ws, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return res.Schedule, res.TotalCost, nil
+		}
+	}
 	var (
 		plan   *core.Schedule
 		cost   float64
 		cached bool
 	)
 	if s.cache != nil {
-		key, err := instcache.KeyFor(in, name, "")
+		key, err := instcache.KeyFor(in, name, options)
 		if err != nil {
 			return solveResponse{Err: err.Error()}
 		}
@@ -461,6 +502,10 @@ func (s *solveServer) serveConn(conn net.Conn) {
 	s.serveJSON(conn, br)
 }
 
+// scanBufPool recycles serveJSON's initial scan buffers across
+// connections (pointer-to-slice so Put avoids an allocation).
+var scanBufPool = sync.Pool{New: func() any { b := make([]byte, 64*1024); return &b }}
+
 // serveJSON speaks the newline-JSON protocol on one connection until the
 // client hangs up, a read fails, the idle timeout fires, or the server
 // drains. Read failures are never silent: an oversized request gets a
@@ -468,7 +513,15 @@ func (s *solveServer) serveConn(conn net.Conn) {
 // errors are counted and logged.
 func (s *solveServer) serveJSON(conn net.Conn, br *bufio.Reader) {
 	sc := bufio.NewScanner(br)
-	sc.Buffer(make([]byte, 64*1024), maxRequestBytes) // instances can be large
+	// Instances can be large; the initial scan buffer is pooled across
+	// connections (a grown buffer is the scanner's own and is not pooled).
+	sbuf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(sbuf)
+	sc.Buffer(*sbuf, maxRequestBytes)
+	// Encoder.Encode emits exactly json.Marshal's bytes plus '\n' — the
+	// line framing this protocol wants — while reusing one buffer for
+	// every response on the connection.
+	enc := json.NewEncoder(conn)
 	for {
 		// Draining: the in-flight request (if any) was completed below;
 		// take no new ones.
@@ -507,12 +560,7 @@ func (s *solveServer) serveJSON(conn net.Conn, br *bufio.Reader) {
 		} else {
 			resp = s.handle(req)
 		}
-		out, err := json.Marshal(resp)
-		if err != nil {
-			return
-		}
-		out = append(out, '\n')
-		if _, err := conn.Write(out); err != nil {
+		if err := enc.Encode(resp); err != nil {
 			return
 		}
 		// Successful stateless solves replay as cache hits; stats
@@ -663,6 +711,9 @@ type serveConfig struct {
 	slowSolve    time.Duration
 	maxSessions  int
 	sessionTTL   time.Duration
+	shardCell    float64
+	shardOverlap float64
+	shardWorkers int
 }
 
 // metricsHandler builds the sidecar mux: Prometheus exposition on
@@ -704,8 +755,13 @@ func runServe(cfg serveConfig, out io.Writer) error {
 		slowSolve:   cfg.slowSolve,
 		maxSessions: cfg.maxSessions,
 		sessionTTL:  cfg.sessionTTL,
-		reg:         reg,
-		log:         obs.NewEventLogger(os.Stderr),
+		shard: shard.Config{
+			CellSize: cfg.shardCell,
+			Overlap:  cfg.shardOverlap,
+			Workers:  cfg.shardWorkers,
+		},
+		reg: reg,
+		log: obs.NewEventLogger(os.Stderr),
 	})
 	if err != nil {
 		return err

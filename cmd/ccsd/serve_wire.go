@@ -58,7 +58,9 @@ const (
 // never-silent policy as the JSON path.
 func (s *solveServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 	r := wire.NewReader(br, maxRequestBytes)
+	defer r.Release()
 	w := wire.NewWriter(conn)
+	var scratch []byte // response payload build buffer, reused per frame
 	for {
 		if s.closing.Load() {
 			return
@@ -71,7 +73,8 @@ func (s *solveServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 			s.binaryEnded(conn, w, err)
 			return
 		}
-		if !s.handleFrame(w, typ, payload) {
+		var ok bool
+		if scratch, ok = s.handleFrame(w, typ, payload, scratch); !ok {
 			return
 		}
 	}
@@ -109,12 +112,14 @@ func (s *solveServer) binaryEnded(conn net.Conn, w *wire.Writer, err error) {
 // write failed (silent close, like the JSON path). Requests with
 // undecodable payloads are counted as failures and answered with
 // TError, keeping the connection alive — the framing is intact, only
-// the message was bad.
-func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload []byte) bool {
-	writeErr := func(msg string) bool {
-		return w.WriteFrame(wire.TError, []byte(msg)) == nil
+// the message was bad. Response payloads build in scratch, which is
+// returned (possibly grown) for the next frame — WriteFrame copies it
+// to its own buffer, so reuse is safe.
+func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload, scratch []byte) ([]byte, bool) {
+	writeErr := func(msg string) ([]byte, bool) {
+		return scratch, w.WriteFrame(wire.TError, []byte(msg)) == nil
 	}
-	badPayload := func(err error) bool {
+	badPayload := func(err error) ([]byte, bool) {
 		s.requests.Add(1)
 		s.failures.Add(1)
 		return writeErr(fmt.Sprintf("bad %s payload: %v", frameName(typ), err))
@@ -131,9 +136,9 @@ func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload []byte)
 		if resp.Err != "" {
 			return writeErr(resp.Err)
 		}
-		out := wire.AppendUvarint(nil, resp.Session)
+		out := wire.AppendUvarint(scratch[:0], resp.Session)
 		out = appendScheduleBlock(out, resp)
-		return w.WriteFrame(wire.TSession, out) == nil
+		return out, w.WriteFrame(wire.TSession, out) == nil
 	case wire.TDelta:
 		d := wire.NewDecoder(payload)
 		id := d.Uvarint()
@@ -145,7 +150,8 @@ func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload []byte)
 		if resp.Err != "" {
 			return writeErr(resp.Err)
 		}
-		return w.WriteFrame(wire.TSchedule, appendScheduleBlock(nil, resp)) == nil
+		out := appendScheduleBlock(scratch[:0], resp)
+		return out, w.WriteFrame(wire.TSchedule, out) == nil
 	case wire.TClose:
 		d := wire.NewDecoder(payload)
 		id := d.Uvarint()
@@ -156,7 +162,7 @@ func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload []byte)
 		if resp.Err != "" {
 			return writeErr(resp.Err)
 		}
-		return w.WriteFrame(wire.TOK, nil) == nil
+		return scratch, w.WriteFrame(wire.TOK, nil) == nil
 	case wire.TStats:
 		if err := wire.NewDecoder(payload).Done(); err != nil {
 			return badPayload(err)
@@ -166,7 +172,7 @@ func (s *solveServer) handleFrame(w *wire.Writer, typ wire.Type, payload []byte)
 		if err != nil {
 			return writeErr(err.Error())
 		}
-		return w.WriteFrame(wire.TOK, out) == nil
+		return scratch, w.WriteFrame(wire.TOK, out) == nil
 	default:
 		s.requests.Add(1)
 		s.failures.Add(1)

@@ -1,0 +1,291 @@
+// One ccsd backend as the router sees it: a small pool of persistent
+// newline-JSON connections with pipelined request/response correlation,
+// a bounded in-flight budget (the admission-control SLO), and a health
+// bit driven by the probe loop and by transport failures.
+//
+// Pipelining works because the serve protocol answers requests in order
+// on a connection: a round trip appends its call to a FIFO under the
+// same lock that serializes the request write, and a per-connection
+// reader goroutine pairs each response line with the head of the FIFO.
+// Any transport error kills the whole connection — FIFO correlation
+// cannot survive a lost response — and every stranded caller is
+// unblocked through the connection's closed channel.
+package router
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errOverloaded reports that a backend's in-flight budget and wait queue
+// are both full; the caller sheds the request instead of queueing it.
+var errOverloaded = errors.New("router: backend overloaded")
+
+// errConnDead reports a round trip attempted or in flight on a
+// connection that failed.
+var errConnDead = errors.New("router: backend connection failed")
+
+// nl re-frames scanner-stripped request lines on the upstream write.
+var nl = []byte{'\n'}
+
+// backend is one ccsd instance behind the router.
+type backend struct {
+	addr        string
+	dialTimeout time.Duration
+	reqTimeout  time.Duration
+
+	// conns is a fixed-size pool of pipelined connections, dialed
+	// lazily and redialed on failure; slotMu guards each slot.
+	conns  []*bconn
+	slotMu []sync.Mutex
+	rr     atomic.Uint64
+
+	// sem bounds in-flight requests (capacity = MaxInflight); waiting
+	// counts callers queued for a slot. Once waiting exceeds maxQueue
+	// the backend is over its SLO and acquire sheds.
+	sem      chan struct{}
+	waiting  atomic.Int64
+	maxQueue int
+
+	// healthy is the ring-membership bit: cleared by the health loop
+	// after consecutive probe failures or immediately on a transport
+	// error, set again by the next successful probe.
+	healthy atomic.Bool
+	// fails counts consecutive probe failures (health loop only).
+	fails int
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	// binConns counts binary client connections currently spliced to
+	// this backend (they live outside the pool and the sem budget).
+	binConns atomic.Int64
+
+	// lat is the per-backend round-trip latency histogram (nil-safe).
+	lat *obs.Histogram
+}
+
+func newBackend(addr string, maxInflight, maxQueue, conns int, dialTimeout, reqTimeout time.Duration) *backend {
+	b := &backend{
+		addr:        addr,
+		dialTimeout: dialTimeout,
+		reqTimeout:  reqTimeout,
+		conns:       make([]*bconn, conns),
+		slotMu:      make([]sync.Mutex, conns),
+		sem:         make(chan struct{}, maxInflight),
+		maxQueue:    maxQueue,
+	}
+	b.healthy.Store(true) // innocent until a probe or a round trip fails
+	return b
+}
+
+// acquire claims an in-flight slot, queueing up to maxQueue callers
+// beyond the budget. It returns errOverloaded — without blocking — once
+// the queue is over the SLO.
+func (b *backend) acquire() error {
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if b.waiting.Add(1) > int64(b.maxQueue) {
+		b.waiting.Add(-1)
+		return errOverloaded
+	}
+	defer b.waiting.Add(-1)
+	b.sem <- struct{}{}
+	return nil
+}
+
+func (b *backend) release() { <-b.sem }
+
+// inflight reports claimed in-flight slots; queued reports callers
+// waiting for one.
+func (b *backend) inflight() int { return len(b.sem) }
+func (b *backend) queued() int   { return int(b.waiting.Load()) }
+
+// roundTrip sends one request line (without its newline — the scanner
+// stripped it; the write re-frames it) and returns the response line.
+// The caller must already hold an in-flight slot. A
+// transport failure marks the backend unhealthy so the ring fails its
+// key range over; the health loop restores it when the probe passes.
+func (b *backend) roundTrip(line []byte) ([]byte, error) {
+	slot := int(b.rr.Add(1)) % len(b.conns)
+	b.slotMu[slot].Lock()
+	c := b.conns[slot]
+	if c == nil || c.dead.Load() {
+		nc, err := net.DialTimeout("tcp", b.addr, b.dialTimeout)
+		if err != nil {
+			b.slotMu[slot].Unlock()
+			b.noteError()
+			return nil, err
+		}
+		c = newBConn(nc, cap(b.sem)+1)
+		b.conns[slot] = c
+	}
+	b.slotMu[slot].Unlock()
+
+	b.requests.Add(1)
+	start := time.Now()
+	resp, err := c.roundTrip(line, b.reqTimeout)
+	if err != nil {
+		b.noteError()
+		return nil, err
+	}
+	b.lat.Observe(time.Since(start).Seconds())
+	return resp, nil
+}
+
+// noteError accounts a transport failure and drops the backend from the
+// ring until a health probe passes again.
+func (b *backend) noteError() {
+	b.errors.Add(1)
+	b.healthy.Store(false)
+}
+
+// close tears down the connection pool (stranded callers unblock with
+// errConnDead).
+func (b *backend) close() {
+	for i := range b.conns {
+		b.slotMu[i].Lock()
+		if c := b.conns[i]; c != nil {
+			c.fail()
+			b.conns[i] = nil
+		}
+		b.slotMu[i].Unlock()
+	}
+}
+
+// pcall is one pipelined round trip in flight.
+type pcall struct {
+	done chan struct{}
+	resp []byte
+	err  error
+}
+
+// bconn is one pipelined backend connection.
+type bconn struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	wmu     sync.Mutex  // serializes write + FIFO append
+	pending chan *pcall // FIFO of in-flight calls
+	stop    chan struct{}
+	closed  chan struct{} // closed when the read loop exits
+	dead    atomic.Bool
+	once    sync.Once
+}
+
+// newBConn wraps an established connection; depth bounds how many calls
+// can be in flight on it (callers are already bounded by the backend's
+// sem, so the FIFO never fills).
+func newBConn(nc net.Conn, depth int) *bconn {
+	c := &bconn{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64*1024),
+		pending: make(chan *pcall, depth),
+		stop:    make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop pairs response lines with pending calls in FIFO order. On any
+// read error it fails the connection: the current call gets the error,
+// and closing c.closed unblocks every other waiter.
+func (c *bconn) readLoop() {
+	defer close(c.closed)
+	for {
+		select {
+		case call := <-c.pending:
+			line, err := c.br.ReadBytes('\n')
+			if err != nil {
+				call.err = err
+				close(call.done)
+				c.fail()
+				return
+			}
+			call.resp = line
+			close(call.done)
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// fail marks the connection dead and closes it, which errors out the
+// read loop (or stops it if idle).
+func (c *bconn) fail() {
+	c.once.Do(func() {
+		c.dead.Store(true)
+		_ = c.nc.Close()
+		close(c.stop)
+	})
+}
+
+// roundTrip writes line and waits for its response in pipeline order.
+func (c *bconn) roundTrip(line []byte, timeout time.Duration) ([]byte, error) {
+	call := &pcall{done: make(chan struct{})}
+	c.wmu.Lock()
+	if c.dead.Load() {
+		c.wmu.Unlock()
+		return nil, errConnDead
+	}
+	if timeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	// Enqueue before writing: the response cannot arrive before the
+	// request bytes leave, and a failed write kills the whole conn so
+	// the stranded entry is unblocked via c.closed.
+	select {
+	case c.pending <- call:
+	default:
+		c.wmu.Unlock()
+		return nil, errConnDead // FIFO full: only possible if sem is misconfigured
+	}
+	// The line arrives newline-stripped (bufio.Scanner framing); re-frame
+	// it in one writev so the request hits the wire as a single segment.
+	bufs := net.Buffers{line, nl}
+	if _, err := bufs.WriteTo(c.nc); err != nil {
+		c.wmu.Unlock()
+		c.fail()
+		return nil, err
+	}
+	c.wmu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-call.done:
+		return call.resp, call.err
+	case <-c.closed:
+		// The read loop exited; our call may still have been the one it
+		// completed last.
+		select {
+		case <-call.done:
+			return call.resp, call.err
+		default:
+		}
+		return nil, errConnDead
+	case <-timer:
+		// FIFO correlation cannot outlive a missing response: kill the
+		// conn so later pipelined calls fail fast instead of mispairing.
+		c.fail()
+		<-c.closed
+		select {
+		case <-call.done:
+			return call.resp, call.err
+		default:
+		}
+		return nil, errConnDead
+	}
+}

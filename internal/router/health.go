@@ -1,0 +1,71 @@
+// Health-check-driven ring membership. A probe is one real protocol
+// exchange — dial, send {"stats":true}, read a line — so "healthy" means
+// "answers requests", not just "accepts TCP". Consecutive failures past
+// the threshold drop the backend from the ring (its key ranges fail over
+// to the next live backend clockwise, deterministically); one successful
+// probe restores it. Transport errors on proxied requests drop a backend
+// immediately (see backend.noteError) — the probe loop is what brings it
+// back.
+package router
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+var healthProbe = []byte(`{"stats":true}` + "\n")
+
+// healthLoop probes every backend each HealthInterval until Close.
+func (rt *Router) healthLoop() {
+	defer close(rt.healthDone)
+	if rt.cfg.HealthInterval <= 0 {
+		<-rt.healthStop
+		return
+	}
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.healthStop:
+			return
+		case <-t.C:
+			for _, b := range rt.backends {
+				rt.probe(b)
+			}
+		}
+	}
+}
+
+// probe runs one health exchange against b and updates its ring bit.
+func (rt *Router) probe(b *backend) {
+	ok := probeOnce(b.addr, rt.cfg.HealthTimeout)
+	if ok {
+		if b.fails >= rt.cfg.HealthFails || !b.healthy.Load() {
+			rt.log.Event("backend_up", "backend", b.addr)
+		}
+		b.fails = 0
+		b.healthy.Store(true)
+		return
+	}
+	b.fails++
+	if b.fails >= rt.cfg.HealthFails && b.healthy.Load() {
+		b.healthy.Store(false)
+		rt.log.Event("backend_down", "backend", b.addr, "consecutive_fails", b.fails)
+	}
+}
+
+// probeOnce reports whether one stats exchange succeeds within timeout.
+func probeOnce(addr string, timeout time.Duration) bool {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return false
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(healthProbe); err != nil {
+		return false
+	}
+	_, err = bufio.NewReader(conn).ReadBytes('\n')
+	return err == nil
+}

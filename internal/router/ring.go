@@ -1,0 +1,98 @@
+// Consistent-hash ring: the router's placement function. Each backend
+// owns Replicas pseudo-random points on a uint64 circle; a request key
+// (the canonical instance fingerprint) lands on the first point at or
+// clockwise after its own hash, so the same instance always routes to
+// the same backend while membership is unchanged — which is exactly the
+// replica whose solve and replay caches already hold it. When a backend
+// dies, only the key ranges it owned move (each to the next live point
+// clockwise); every other instance keeps its warm replica.
+package router
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a position on the circle owned by a
+// backend index.
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// ring is an immutable consistent-hash ring over n backends. Liveness is
+// not part of the ring: walk skips dead backends at lookup time, so
+// membership changes never move keys between live backends.
+type ring struct {
+	points []ringPoint
+	n      int
+}
+
+// newRing places replicas points per backend address. Point positions
+// derive from SHA-256 of "addr#replica", so the layout is deterministic
+// across router restarts and independent of the order addresses are
+// listed in.
+func newRing(addrs []string, replicas int) *ring {
+	r := &ring{n: len(addrs)}
+	r.points = make([]ringPoint, 0, len(addrs)*replicas)
+	for i, a := range addrs {
+		for v := 0; v < replicas; v++ {
+			sum := sha256.Sum256([]byte(a + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{binary.BigEndian.Uint64(sum[:8]), i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A full 64-bit collision between two backends' points is
+		// astronomically unlikely; break it by backend index so the ring
+		// is still a deterministic function of the address set.
+		return r.points[a].backend < r.points[b].backend
+	})
+	return r
+}
+
+// keyHash positions a 32-byte fingerprint on the circle.
+func keyHash(sum [32]byte) uint64 { return binary.BigEndian.Uint64(sum[:8]) }
+
+// walk yields each distinct backend in ring order starting at the first
+// point at or after h, wrapping around. It stops after all n backends or
+// when yield returns false. The first yielded backend is the key's
+// owner; the rest are its deterministic failover sequence.
+func (r *ring) walk(h uint64, yield func(backend int) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.n)
+	yielded := 0
+	for i := 0; i < len(r.points) && yielded < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.backend] {
+			continue
+		}
+		seen[p.backend] = true
+		yielded++
+		if !yield(p.backend) {
+			return
+		}
+	}
+}
+
+// owner returns the first backend in walk order for which alive reports
+// true, or -1 when none is. This is the routing decision: the key's
+// owner when it is alive, otherwise the deterministic failover target.
+func (r *ring) owner(h uint64, alive func(int) bool) int {
+	out := -1
+	r.walk(h, func(b int) bool {
+		if alive(b) {
+			out = b
+			return false
+		}
+		return true
+	})
+	return out
+}

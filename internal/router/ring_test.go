@@ -1,0 +1,123 @@
+package router
+
+import (
+	"crypto/sha256"
+	"strconv"
+	"testing"
+)
+
+func ringAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "10.0.0." + strconv.Itoa(i+1) + ":7465"
+	}
+	return out
+}
+
+// testKey derives a deterministic circle position from an integer.
+func testKey(i int) uint64 { return keyHash(sha256.Sum256([]byte("key-" + strconv.Itoa(i)))) }
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	addrs := ringAddrs(4)
+	a := newRing(addrs, 64)
+	b := newRing(addrs, 64)
+	all := func(int) bool { return true }
+	for i := 0; i < 1000; i++ {
+		h := testKey(i)
+		if got, want := a.owner(h, all), b.owner(h, all); got != want {
+			t.Fatalf("key %d: owner differs across identical rings: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	const n, keys = 4, 4000
+	r := newRing(ringAddrs(n), 64)
+	counts := make([]int, n)
+	all := func(int) bool { return true }
+	for i := 0; i < keys; i++ {
+		counts[r.owner(testKey(i), all)]++
+	}
+	// With 64 virtual nodes each the split is not exact, but every
+	// backend must own a meaningful share — no starved replica.
+	for b, c := range counts {
+		if c < keys/n/4 {
+			t.Fatalf("backend %d owns only %d of %d keys: %v", b, c, keys, counts)
+		}
+	}
+}
+
+func TestRingWalkYieldsEachBackendOnce(t *testing.T) {
+	const n = 5
+	r := newRing(ringAddrs(n), 16)
+	for i := 0; i < 50; i++ {
+		var order []int
+		seen := map[int]bool{}
+		r.walk(testKey(i), func(b int) bool {
+			if seen[b] {
+				t.Fatalf("key %d: backend %d yielded twice (order %v)", i, b, order)
+			}
+			seen[b] = true
+			order = append(order, b)
+			return true
+		})
+		if len(order) != n {
+			t.Fatalf("key %d: walk yielded %d of %d backends: %v", i, len(order), n, order)
+		}
+	}
+}
+
+func TestRingFailoverIsNextInWalkOrder(t *testing.T) {
+	r := newRing(ringAddrs(4), 64)
+	all := func(int) bool { return true }
+	for i := 0; i < 200; i++ {
+		h := testKey(i)
+		var order []int
+		r.walk(h, func(b int) bool {
+			order = append(order, b)
+			return true
+		})
+		if got := r.owner(h, all); got != order[0] {
+			t.Fatalf("key %d: owner %d is not the first walk point %v", i, got, order)
+		}
+		// Kill the owner: the key must move to the second walk point and
+		// nowhere else.
+		dead := order[0]
+		got := r.owner(h, func(b int) bool { return b != dead })
+		if got != order[1] {
+			t.Fatalf("key %d: with %d dead, owner = %d, want next-in-walk %d (order %v)",
+				i, dead, got, order[1], order)
+		}
+	}
+}
+
+func TestRingOwnerNoneAlive(t *testing.T) {
+	r := newRing(ringAddrs(3), 8)
+	if got := r.owner(testKey(1), func(int) bool { return false }); got != -1 {
+		t.Fatalf("owner with no live backend = %d, want -1", got)
+	}
+}
+
+// TestRingMinimalKeyMovement pins the consistent-hashing property the
+// affinity contract rests on: removing one backend moves only the keys
+// it owned, never keys between surviving backends.
+func TestRingMinimalKeyMovement(t *testing.T) {
+	r := newRing(ringAddrs(4), 64)
+	all := func(int) bool { return true }
+	const dead = 2
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		h := testKey(i)
+		before := r.owner(h, all)
+		after := r.owner(h, func(b int) bool { return b != dead })
+		if before != dead && after != before {
+			t.Fatalf("key %d moved %d -> %d although backend %d died", i, before, after, dead)
+		}
+		if before == dead {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead backend owned no keys; distribution is broken")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 const (
@@ -86,6 +87,12 @@ var (
 	ErrTrailing = errors.New("wire: trailing bytes after payload")
 )
 
+// payloadPool recycles payload buffers across Readers, so a server
+// churning through many short-lived connections doesn't pay a fresh
+// buffer (and its growth reallocations) per connection. Buffers enter
+// the pool only through Release.
+var payloadPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
 // Reader decodes frames from a byte stream, reusing one payload buffer.
 // Not safe for concurrent use.
 type Reader struct {
@@ -100,13 +107,26 @@ type Reader struct {
 // byte-by-byte through io.ByteReader when r provides it (bufio.Reader
 // does), falling back to single-byte Reads otherwise.
 func NewReader(r io.Reader, maxPayload int) *Reader {
-	rd := &Reader{r: r, max: maxPayload}
+	rd := &Reader{r: r, max: maxPayload, buf: (*payloadPool.Get().(*[]byte))[:0]}
 	if br, ok := r.(io.ByteReader); ok {
 		rd.br = br
 	} else {
 		rd.br = &oneByteReader{r: r}
 	}
 	return rd
+}
+
+// Release returns the reader's payload buffer to the shared pool. Call
+// it when done with the reader (connection teardown); it invalidates the
+// last payload returned by ReadFrame. The reader stays usable — a later
+// ReadFrame simply grows a fresh buffer.
+func (r *Reader) Release() {
+	if r.buf == nil {
+		return
+	}
+	b := r.buf[:0]
+	r.buf = nil
+	payloadPool.Put(&b)
 }
 
 // oneByteReader adapts a plain io.Reader to io.ByteReader.

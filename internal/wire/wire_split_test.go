@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// segmentedReader delivers a byte stream in predetermined segments, one
+// segment per Read call, the way a TCP stream arrives in arbitrary
+// packet boundaries. It deliberately does not implement io.ByteReader.
+type segmentedReader struct {
+	segs [][]byte
+}
+
+func (s *segmentedReader) Read(p []byte) (int, error) {
+	for len(s.segs) > 0 && len(s.segs[0]) == 0 {
+		s.segs = s.segs[1:]
+	}
+	if len(s.segs) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.segs[0])
+	s.segs[0] = s.segs[0][n:]
+	return n, nil
+}
+
+// splitStream builds the test stream: three frames whose encoding
+// exercises every header field across segment boundaries — a 300-byte
+// payload (its length uvarint spans two bytes), an empty payload, and a
+// payload containing magic and newline bytes.
+func splitStream(t *testing.T) ([]byte, []Type, [][]byte) {
+	t.Helper()
+	payloads := [][]byte{
+		bytes.Repeat([]byte{0xEE}, 300),
+		nil,
+		{Magic, '\n', Magic, 0x00},
+	}
+	types := []Type{TRegister, TOK, TSchedule}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i, p := range payloads {
+		if err := w.WriteFrame(types[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), types, payloads
+}
+
+// decodeAll reads the full stream through a Reader and checks each frame
+// against the expected sequence.
+func decodeAll(t *testing.T, r *Reader, types []Type, payloads [][]byte, label string) {
+	t.Helper()
+	for i := range types {
+		typ, p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("%s: frame %d: %v", label, i, err)
+		}
+		if typ != types[i] || !bytes.Equal(p, payloads[i]) {
+			t.Fatalf("%s: frame %d = (0x%02X, %d bytes), want (0x%02X, %d bytes)",
+				label, i, typ, len(p), types[i], len(payloads[i]))
+		}
+	}
+	if _, _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("%s: end of stream: %v, want io.EOF", label, err)
+	}
+}
+
+// TestReadFrameOneByteSegments drips the stream one byte per Read call —
+// the most adversarial TCP segmentation — through both the buffered
+// (production) path and the raw one-byte-reader fallback.
+func TestReadFrameOneByteSegments(t *testing.T) {
+	stream, types, payloads := splitStream(t)
+	drip := func() *segmentedReader {
+		segs := make([][]byte, len(stream))
+		for i := range stream {
+			segs[i] = stream[i : i+1]
+		}
+		return &segmentedReader{segs: segs}
+	}
+	decodeAll(t, NewReader(bufio.NewReader(drip()), 1024), types, payloads, "buffered")
+	decodeAll(t, NewReader(drip(), 1024), types, payloads, "unbuffered")
+}
+
+// TestReadFrameSplitAtEveryBoundary cuts the stream in two at every
+// possible byte offset, covering splits inside the magic/version/type
+// header, mid-payload, and between frames.
+func TestReadFrameSplitAtEveryBoundary(t *testing.T) {
+	stream, types, payloads := splitStream(t)
+	for cut := 1; cut < len(stream); cut++ {
+		sr := &segmentedReader{segs: [][]byte{stream[:cut], stream[cut:]}}
+		r := NewReader(bufio.NewReaderSize(sr, 16), 1024) // small buffer so fills straddle cuts
+		decodeAll(t, r, types, payloads, "split")
+	}
+}
+
+// TestReadFrameSplitMidUvarint pins the nastiest header split: the
+// 300-byte payload's length encodes as two uvarint bytes (0xAC 0x02),
+// and the segment boundary lands exactly between them.
+func TestReadFrameSplitMidUvarint(t *testing.T) {
+	stream, types, payloads := splitStream(t)
+	// Header layout: magic, version, type, then the length varint.
+	if stream[3] != 0xAC || stream[4] != 0x02 {
+		t.Fatalf("length varint = 0x%02X 0x%02X, want 0xAC 0x02", stream[3], stream[4])
+	}
+	sr := &segmentedReader{segs: [][]byte{stream[:4], stream[4:]}}
+	decodeAll(t, NewReader(bufio.NewReader(sr), 1024), types, payloads, "mid-uvarint")
+
+	// And without buffering, so the varint bytes arrive in two Reads.
+	sr = &segmentedReader{segs: [][]byte{stream[:4], stream[4:]}}
+	decodeAll(t, NewReader(sr, 1024), types, payloads, "mid-uvarint unbuffered")
+}
+
+// TestReadFrameTruncatedAtSegmentBoundary checks that a stream that
+// simply stops at a segment boundary mid-frame reports
+// io.ErrUnexpectedEOF (not a hang or a garbled frame).
+func TestReadFrameTruncatedAtSegmentBoundary(t *testing.T) {
+	stream, _, _ := splitStream(t)
+	for _, cut := range []int{1, 2, 3, 4, 5, 50} {
+		sr := &segmentedReader{segs: [][]byte{stream[:cut]}}
+		r := NewReader(bufio.NewReader(sr), 1024)
+		if _, _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
