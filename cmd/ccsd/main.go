@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		connIdle     = fs.Duration("conn-idle-timeout", 3*time.Minute, "close a -serve connection idle for this long (0 = never)")
 		maxSessions  = fs.Int("max-sessions", 1024, "cap live -serve sessions; LRU-evicted beyond it (0 = session protocol off)")
 		sessionIdle  = fs.Duration("session-idle-timeout", 10*time.Minute, "expire a -serve session untouched for this long (0 = never)")
+		tick         = fs.Duration("tick", 0, "coalesce -serve session deltas arriving within this window into one repair per session (0 = solve per request)")
 		drainWait    = fs.Duration("drain-timeout", 10*time.Second, "on shutdown, wait this long for in-flight -serve requests before force-closing")
 		slowSolve    = fs.Duration("slow-solve", time.Second, "log a slow_solve event for -serve requests slower than this (0 = off)")
 		shardCell    = fs.Float64("shard-cell", 0, "in -serve mode, solve warm-capable one-shot requests cell-parallel with this spatial cell size in meters (0 = whole-field)")
@@ -102,6 +103,12 @@ func run(args []string, out io.Writer) error {
 		if *sessionIdle < 0 {
 			return fmt.Errorf("-session-idle-timeout must be >= 0, got %v", *sessionIdle)
 		}
+		if *tick < 0 {
+			return fmt.Errorf("-tick must be >= 0, got %v", *tick)
+		}
+		if *tick > 0 && *maxSessions == 0 {
+			return fmt.Errorf("-tick needs the session protocol (-max-sessions > 0)")
+		}
 		if *shardCell < 0 {
 			return fmt.Errorf("-shard-cell must be >= 0, got %v", *shardCell)
 		}
@@ -121,6 +128,7 @@ func run(args []string, out io.Writer) error {
 			slowSolve:    *slowSolve,
 			maxSessions:  *maxSessions,
 			sessionTTL:   *sessionIdle,
+			tick:         *tick,
 			shardCell:    *shardCell,
 			shardOverlap: *shardOverlap,
 			shardWorkers: *shardWorkers,

@@ -120,9 +120,14 @@ type sessionStats struct {
 	Active      int    `json:"active"`
 	Registered  uint64 `json:"registered"`
 	DeltaSolves uint64 `json:"deltaSolves"`
-	EvictedLRU  uint64 `json:"evictedLRU"`
-	EvictedIdle uint64 `json:"evictedIdle"`
-	Unknown     uint64 `json:"unknownSession"`
+	// RepairSolves counts delta solves answered by the incremental
+	// repair path; RepairFallbacks counts primed repairs that fell back
+	// to the full warm dynamics.
+	RepairSolves    uint64 `json:"repairSolves"`
+	RepairFallbacks uint64 `json:"repairFallbacks"`
+	EvictedLRU      uint64 `json:"evictedLRU"`
+	EvictedIdle     uint64 `json:"evictedIdle"`
+	Unknown         uint64 `json:"unknownSession"`
 }
 
 // solveResponse is one line back to the client.
@@ -133,11 +138,14 @@ type solveResponse struct {
 	Cached     bool            `json:"cached,omitempty"`
 	Stats      *serviceStats   `json:"stats,omitempty"`
 	// Session-protocol fields: the session ID, the warm solve's
-	// convergence diagnostics, and the close acknowledgement.
+	// convergence diagnostics, and the close acknowledgement. Repaired
+	// reports that the solve came from the incremental dirty-set repair
+	// path (register responses and full warm solves omit it).
 	Session  uint64 `json:"session,omitempty"`
 	Passes   int    `json:"passes,omitempty"`
 	Switches int    `json:"switches,omitempty"`
 	Nash     bool   `json:"nash,omitempty"`
+	Repaired bool   `json:"repaired,omitempty"`
 	Closed   bool   `json:"closed,omitempty"`
 	Err      string `json:"error,omitempty"`
 }
@@ -155,6 +163,12 @@ type serveMetrics struct {
 	// deltaSolveSec is the per-scheduler latency histogram over the
 	// session delta path (apply patches + warm re-solve).
 	deltaSolveSec map[string]*obs.Histogram
+	// repairSolveSec is the latency histogram over delta solves answered
+	// by the incremental repair path (a subset of deltaSolveSec);
+	// repairFrontier is the distribution of devices each repair fully
+	// re-evaluated.
+	repairSolveSec *obs.Histogram
+	repairFrontier *obs.Histogram
 	// idleClosed counts connections reaped by the idle timeout;
 	// oversized counts requests over maxRequestBytes; readErrors counts
 	// connections dropped on any other read error.
@@ -179,6 +193,12 @@ type serveOpts struct {
 	// sessionTTL expires a session idle for this long; 0 disables
 	// expiry.
 	sessionTTL time.Duration
+	// tick, when > 0, batches session delta requests: deltas arriving
+	// within one window coalesce into a single repair per session.
+	tick time.Duration
+	// noRepair disables the incremental repair path (every delta solve
+	// runs the full warm dynamics) — a benchmarking/bisection switch.
+	noRepair bool
 	// shard, when CellSize > 0, routes one-shot solves by warm-capable
 	// schedulers through internal/shard so large instances solve
 	// cell-parallel server-side. The zero value leaves the whole-field
@@ -202,12 +222,19 @@ type solveServer struct {
 	sessions *sessionManager      // nil when the session protocol is disabled
 	requests atomic.Uint64
 	failures atomic.Uint64
-	// deltaSolves counts session delta requests that reached a warm
-	// re-solve; unknownSession counts delta/stat misses on dead IDs.
-	deltaSolves    atomic.Uint64
-	unknownSession atomic.Uint64
-	idleTimeout    time.Duration
-	slowSolve      time.Duration
+	// deltaSolves counts session delta requests that reached a re-solve;
+	// repairSolves counts the subset answered incrementally and
+	// repairFallbacks the primed repairs that had to fall back to the
+	// full warm path; unknownSession counts delta/stat misses on dead
+	// IDs.
+	deltaSolves     atomic.Uint64
+	repairSolves    atomic.Uint64
+	repairFallbacks atomic.Uint64
+	unknownSession  atomic.Uint64
+	idleTimeout     time.Duration
+	slowSolve       time.Duration
+	tick            time.Duration
+	noRepair        bool
 	log            *obs.EventLogger
 	met            serveMetrics
 	metricsOn      bool
@@ -233,8 +260,13 @@ func newSolveServer(opts serveOpts) (*solveServer, error) {
 	s := &solveServer{
 		idleTimeout: opts.idleTimeout,
 		slowSolve:   opts.slowSolve,
+		tick:        opts.tick,
+		noRepair:    opts.noRepair,
 		log:         opts.log,
 		conns:       make(map[net.Conn]struct{}),
+	}
+	if opts.tick < 0 {
+		return nil, fmt.Errorf("tick %v < 0", opts.tick)
 	}
 	if opts.cacheSize > 0 {
 		c, err := instcache.New(opts.cacheSize)
@@ -291,6 +323,11 @@ func (s *solveServer) register(reg *obs.Registry) {
 		reg.CounterFunc("ccsd_session_evictions_total", func() float64 { return float64(s.sessions.evictTTL.Load()) }, "reason", "idle")
 		reg.CounterFunc("ccsd_unknown_session_total", func() float64 { return float64(s.unknownSession.Load()) })
 		reg.CounterFunc("ccsd_delta_solves_total", func() float64 { return float64(s.deltaSolves.Load()) })
+		reg.CounterFunc("ccsd_repair_solves_total", func() float64 { return float64(s.repairSolves.Load()) })
+		reg.CounterFunc("ccsd_repair_fallbacks_total", func() float64 { return float64(s.repairFallbacks.Load()) })
+		s.met.repairSolveSec = reg.Histogram("ccsd_repair_solve_seconds", obs.DefaultLatencyBuckets)
+		s.met.repairFrontier = reg.Histogram("ccsd_repair_frontier_devices",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384})
 		s.met.deltaSolveSec = make(map[string]*obs.Histogram, len(schedulerNames))
 		for _, name := range schedulerNames {
 			if sched, err := schedulerByName(name); err == nil {
@@ -361,12 +398,14 @@ func (s *solveServer) answer(req solveRequest) solveResponse {
 		}
 		if s.sessions != nil {
 			st.Sessions = &sessionStats{
-				Active:      s.sessions.active(),
-				Registered:  s.sessions.registered(),
-				DeltaSolves: s.deltaSolves.Load(),
-				EvictedLRU:  s.sessions.evictLRU.Load(),
-				EvictedIdle: s.sessions.evictTTL.Load(),
-				Unknown:     s.unknownSession.Load(),
+				Active:          s.sessions.active(),
+				Registered:      s.sessions.registered(),
+				DeltaSolves:     s.deltaSolves.Load(),
+				RepairSolves:    s.repairSolves.Load(),
+				RepairFallbacks: s.repairFallbacks.Load(),
+				EvictedLRU:      s.sessions.evictLRU.Load(),
+				EvictedIdle:     s.sessions.evictTTL.Load(),
+				Unknown:         s.unknownSession.Load(),
 			}
 		}
 		return solveResponse{Stats: st}
@@ -690,6 +729,9 @@ func (s *solveServer) summary() string {
 	if s.sessions != nil {
 		line += fmt.Sprintf(", %d session(s) registered, %d delta solve(s)",
 			s.sessions.registered(), s.deltaSolves.Load())
+		if rep := s.repairSolves.Load(); rep > 0 || s.repairFallbacks.Load() > 0 {
+			line += fmt.Sprintf(" (%d repaired, %d fallback(s))", rep, s.repairFallbacks.Load())
+		}
 	}
 	if s.cache == nil {
 		return line + ", cache off"
@@ -711,6 +753,7 @@ type serveConfig struct {
 	slowSolve    time.Duration
 	maxSessions  int
 	sessionTTL   time.Duration
+	tick         time.Duration
 	shardCell    float64
 	shardOverlap float64
 	shardWorkers int
@@ -755,6 +798,7 @@ func runServe(cfg serveConfig, out io.Writer) error {
 		slowSolve:   cfg.slowSolve,
 		maxSessions: cfg.maxSessions,
 		sessionTTL:  cfg.sessionTTL,
+		tick:        cfg.tick,
 		shard: shard.Config{
 			CellSize: cfg.shardCell,
 			Overlap:  cfg.shardOverlap,

@@ -277,21 +277,42 @@ func TestServeMetricsEndToEnd(t *testing.T) {
 		}
 	}
 
+	// Session traffic feeds the repair instruments: register a session and
+	// stream one delta, which the CCSGA scheduler answers incrementally.
+	regResp := roundTrip(t, conn, br, jsonLine(t, registerRequest(t, repairBenchInstance(24), "CCSGA")))
+	if regResp.Err != "" || regResp.Session == 0 {
+		t.Fatalf("register failed: %+v", regResp)
+	}
+	deltaResp := roundTrip(t, conn, br, jsonLine(t, solveRequest{Session: regResp.Session,
+		Deltas: []sessionDelta{{Op: opDemand, ID: "dev-0003", Demand: 480}}}))
+	if deltaResp.Err != "" {
+		t.Fatalf("delta failed: %s", deltaResp.Err)
+	}
+	if !deltaResp.Repaired {
+		t.Error("delta solve not answered by the repair path")
+	}
+
 	code, body := get("/metrics")
 	if code != 200 {
 		t.Fatalf("/metrics status %d", code)
 	}
 	for _, want := range []string{
-		`ccsd_solve_seconds_count{scheduler="CCSGA"} 1`, // raw replay skips the histogram
+		`ccsd_solve_seconds_count{scheduler="CCSGA"} 2`, // raw replay skips the histogram; the register counts
 		`ccsd_solve_seconds_count{scheduler="CCSA"} 1`,
-		`ccsd_solve_seconds_bucket{scheduler="CCSGA",le="+Inf"} 1`,
-		"ccsd_requests_total 3",
+		`ccsd_solve_seconds_bucket{scheduler="CCSGA",le="+Inf"} 2`,
+		"ccsd_requests_total 5",
 		"ccsd_request_failures_total 0",
 		`ccsd_cache_hits_total{tier="raw"} 1`,
 		`ccsd_cache_misses_total{tier="solutions"} 2`,
 		`ccsd_cache_entries{tier="solutions"} 2`,
 		"ccsd_inflight_connections 1",
 		"# TYPE ccsd_solve_seconds histogram",
+		"ccsd_repair_solves_total 1",
+		"ccsd_repair_fallbacks_total 0",
+		"ccsd_repair_solve_seconds_count 1",
+		"ccsd_repair_frontier_devices_count 1",
+		"# TYPE ccsd_repair_solve_seconds histogram",
+		"# TYPE ccsd_repair_frontier_devices histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -323,7 +344,7 @@ func TestServeMetricsEndToEnd(t *testing.T) {
 	if runErr != nil {
 		t.Fatalf("daemon: %v", runErr)
 	}
-	if !strings.Contains(rest.String(), "served 3 request(s), 0 failed") {
+	if !strings.Contains(rest.String(), "served 5 request(s), 0 failed") {
 		t.Errorf("shutdown summary missing counters:\n%s", rest.String())
 	}
 }

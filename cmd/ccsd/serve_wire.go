@@ -23,7 +23,8 @@
 //	TError     message bytes (whole payload)
 //
 //	schedule block: cost f64, passes, switches, flags byte (bit0 =
-//	Nash stable), coalition count, then per coalition: charger id
+//	Nash stable, bit1 = repaired), coalition count, then per
+//	coalition: charger id
 //	string, member count, member id strings.
 
 package main
@@ -260,6 +261,9 @@ func appendScheduleBlock(b []byte, resp solveResponse) []byte {
 	var flags byte
 	if resp.Nash {
 		flags |= 1
+	}
+	if resp.Repaired {
+		flags |= 2 // bit1: answered by the incremental repair path
 	}
 	b = append(b, flags)
 	b = wire.AppendUvarint(b, uint64(len(resp.Coalitions)))

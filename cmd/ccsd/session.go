@@ -63,12 +63,33 @@ type session struct {
 	id        uint64
 	schedName string
 	sched     core.WarmScheduler
+	// repair and rs arm the incremental dirty-set repair path: when the
+	// scheduler supports it (CCSGA does), delta solves repair the primed
+	// equilibrium over the slots the batch dirtied instead of re-running
+	// the full warm dynamics. Both nil when repair is off.
+	repair core.RepairScheduler
+	rs     *core.RepairState
 
 	mu       sync.Mutex
 	cm       *core.CostModel
 	ws       *core.WarmStart
 	devIndex map[string]int // device ID → index in cm's instance
 	chIndex  map[string]int // charger ID → index (chargers never move)
+
+	// Tick batching (-tick > 0): deltas arriving within the window join
+	// the pending group and share its solve. tickMu only guards pending —
+	// never held across a solve or with mu.
+	tickMu  sync.Mutex
+	pending *tickGroup
+}
+
+// tickGroup is one batching window's worth of deltas: the first arrival
+// becomes the leader, sleeps out the window while followers append, then
+// applies the coalesced batch in one repair and shares the response.
+type tickGroup struct {
+	deltas []sessionDelta
+	done   chan struct{} // closed once resp is populated
+	resp   solveResponse
 }
 
 // apply performs one delta op on the locked session. Errors name the op
@@ -318,7 +339,17 @@ func (s *solveServer) registerSession(req solveRequest) solveResponse {
 		devIndex:  devIndex,
 		chIndex:   chIndex,
 	}
-	res, err := warm.ScheduleWarm(cm, sess.ws)
+	var res *core.CCSGAResult
+	if rsched, ok := warm.(core.RepairScheduler); ok && !s.noRepair {
+		// Arm the repair path: the unprimed first solve runs exactly the
+		// warm path (byte-identical response) and primes the state, so
+		// every later delta solve can repair incrementally.
+		sess.repair = rsched
+		sess.rs = core.NewRepairState()
+		res, err = rsched.ScheduleRepair(cm, sess.ws, sess.rs)
+	} else {
+		res, err = warm.ScheduleWarm(cm, sess.ws)
+	}
 	if err != nil {
 		return solveResponse{Err: err.Error()}
 	}
@@ -328,19 +359,52 @@ func (s *solveServer) registerSession(req solveRequest) solveResponse {
 	return resp
 }
 
-// deltaSolve applies a delta batch to a live session and re-solves warm
-// from the session's carrier. This is the hot path the protocol exists
-// for: O(m) patches plus a near-equilibrium re-solve, no instance
-// decode, no cold start.
+// deltaSolve applies a delta batch to a live session and re-solves from
+// the session's carrier — incrementally repairing the primed equilibrium
+// when the session's scheduler supports it, full warm dynamics
+// otherwise. This is the hot path the protocol exists for: O(m) patches
+// plus a frontier-local repair, no instance decode, no cold start.
+//
+// With -tick > 0 batches arriving within one window coalesce: the first
+// request leads (sleeps out the window, applies the combined batch, and
+// solves once), later requests append their deltas and wait for the
+// shared response. A coalesced batch keeps the sequential-apply error
+// contract, but the op index in an error refers to the combined batch.
 func (s *solveServer) deltaSolve(req solveRequest) solveResponse {
 	sess := s.sessions.lookup(req.Session)
 	if sess == nil {
 		s.unknownSession.Add(1)
 		return solveResponse{Err: "unknown session"}
 	}
+	if s.tick <= 0 {
+		return s.applyAndSolve(sess, req.Deltas)
+	}
+	sess.tickMu.Lock()
+	if g := sess.pending; g != nil {
+		g.deltas = append(g.deltas, req.Deltas...)
+		sess.tickMu.Unlock()
+		<-g.done
+		return g.resp
+	}
+	g := &tickGroup{done: make(chan struct{})}
+	g.deltas = append(g.deltas, req.Deltas...)
+	sess.pending = g
+	sess.tickMu.Unlock()
+	time.Sleep(s.tick)
+	sess.tickMu.Lock()
+	sess.pending = nil
+	sess.tickMu.Unlock()
+	g.resp = s.applyAndSolve(sess, g.deltas)
+	close(g.done)
+	return g.resp
+}
+
+// applyAndSolve is the delta hot path under the session lock: apply the
+// batch sequentially, then repair (or warm re-solve) and account.
+func (s *solveServer) applyAndSolve(sess *session, deltas []sessionDelta) solveResponse {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	for k, d := range req.Deltas {
+	for k, d := range deltas {
 		if err := sess.apply(d); err != nil {
 			return solveResponse{Session: sess.id,
 				Err: fmt.Sprintf("delta %d: %v (earlier deltas in the batch remain applied)", k, err)}
@@ -353,15 +417,30 @@ func (s *solveServer) deltaSolve(req solveRequest) solveResponse {
 	if s.solveDelay > 0 {
 		time.Sleep(s.solveDelay) // test hook, mirrors the stateless path
 	}
-	res, err := sess.sched.ScheduleWarm(sess.cm, sess.ws)
+	var res *core.CCSGAResult
+	var err error
+	if sess.rs != nil {
+		res, err = sess.repair.ScheduleRepair(sess.cm, sess.ws, sess.rs)
+	} else {
+		res, err = sess.sched.ScheduleWarm(sess.cm, sess.ws)
+	}
 	if err != nil {
 		return solveResponse{Session: sess.id, Err: err.Error()}
 	}
 	s.deltaSolves.Add(1)
+	if res.Repaired {
+		s.repairSolves.Add(1)
+		s.met.repairFrontier.Observe(float64(res.FrontierDevices))
+	} else if res.FallbackReason != "" {
+		s.repairFallbacks.Add(1)
+	}
 	if s.metricsOn || s.slowSolve > 0 {
 		elapsed := time.Since(start)
 		if h, ok := s.met.deltaSolveSec[sess.schedName]; ok {
 			h.Observe(elapsed.Seconds())
+		}
+		if res.Repaired {
+			s.met.repairSolveSec.Observe(elapsed.Seconds())
 		}
 		if s.slowSolve > 0 && elapsed >= s.slowSolve {
 			s.log.Event("slow_delta_solve", "scheduler", sess.schedName, "session", sess.id, "elapsed", elapsed)
@@ -393,6 +472,7 @@ func renderSchedule(cm *core.CostModel, res *core.CCSGAResult) solveResponse {
 		Passes:   res.Passes,
 		Switches: res.Switches,
 		Nash:     res.NashStable,
+		Repaired: res.Repaired,
 	}
 	for _, c := range res.Schedule.Coalitions {
 		cj := coalitionJSON{Charger: in.Chargers[c.Charger].ID}

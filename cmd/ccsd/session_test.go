@@ -97,6 +97,7 @@ type sessionSolve struct {
 	passes     int
 	switches   int
 	nash       bool
+	repaired   bool
 	coalitions []coalitionJSON
 }
 
@@ -107,6 +108,7 @@ func solveFromResponse(resp solveResponse) sessionSolve {
 		passes:     resp.Passes,
 		switches:   resp.Switches,
 		nash:       resp.Nash,
+		repaired:   resp.Repaired,
 		coalitions: resp.Coalitions,
 	}
 }
@@ -325,7 +327,9 @@ func decodeScheduleBlock(d *wire.Decoder) (sessionSolve, error) {
 	out.cost = d.Float64()
 	out.passes = int(d.Uvarint())
 	out.switches = int(d.Uvarint())
-	out.nash = d.Byte()&1 != 0
+	flags := d.Byte()
+	out.nash = flags&1 != 0
+	out.repaired = flags&2 != 0
 	ncoal := d.Uvarint()
 	for k := uint64(0); k < ncoal && d.Err() == nil; k++ {
 		cj := coalitionJSON{Charger: d.String()}

@@ -35,6 +35,12 @@ type CCSGAOptions struct {
 	// Nash equilibrium — possibly a different one than the cold start
 	// reaches.
 	Init []int
+	// RepairMaxFrontier caps how much of the population an incremental
+	// repair (ScheduleRepair) may fully re-evaluate before falling back
+	// to a full warm solve, as a fraction of the device count. Zero uses
+	// the default 0.5. Ignored by CCSGA itself — it only shapes the
+	// repair path's escape hatch.
+	RepairMaxFrontier float64
 }
 
 // CCSGAResult carries the schedule plus game diagnostics.
@@ -49,6 +55,16 @@ type CCSGAResult struct {
 	// NashStable reports whether the final assignment was verified to be
 	// a pure Nash equilibrium (no device can lower its share).
 	NashStable bool
+	// Repaired reports whether the result came from the incremental
+	// dirty-set repair path (ScheduleRepair) rather than a full solve.
+	Repaired bool
+	// FallbackReason is non-empty when a primed repair state could not
+	// repair incrementally and fell back to a full warm solve (frontier
+	// too large, session-slot layout change, ESS tariff swap, …).
+	FallbackReason string
+	// FrontierDevices counts the devices the repair fully re-evaluated
+	// (members of dirty slots); zero for full solves.
+	FrontierDevices int
 }
 
 // CCSGA runs the paper's game-theoretic algorithm for large instances:
@@ -59,6 +75,16 @@ type CCSGAResult struct {
 // initial assignment is the noncooperative one (every device at its
 // standalone charger), packed greedily when capacities bind.
 func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
+	res, _, _, err := ccsgaSolve(cm, opts)
+	return res, err
+}
+
+// ccsgaSolve is CCSGA plus the solver internals the repair path persists:
+// the charger game with its final aggregates and the converged device→slot
+// assignment. The game's cur array aliases the returned assignment state
+// after the run (coalition.Run mutates the game through Move), so a caller
+// adopting the game gets per-slot aggregates that already match assign.
+func ccsgaSolve(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, *chargerGame, []int, error) {
 	if opts.Scheme == nil {
 		opts.Scheme = PDS{}
 	}
@@ -67,18 +93,18 @@ func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
 	}
 	game, err := newChargerGame(cm, opts.Scheme)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	var init []int
 	if opts.Init != nil {
 		if err := game.validateInit(opts.Init); err != nil {
-			return nil, fmt.Errorf("ccsga: %w", err)
+			return nil, nil, nil, fmt.Errorf("ccsga: %w", err)
 		}
 		init = opts.Init
 	} else {
 		init, err = game.initialAssignment()
 		if err != nil {
-			return nil, fmt.Errorf("ccsga: %w", err)
+			return nil, nil, nil, fmt.Errorf("ccsga: %w", err)
 		}
 	}
 	game.reset(init)
@@ -94,7 +120,7 @@ func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
 		Rand:      r,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ccsga: %w", err)
+		return nil, nil, nil, fmt.Errorf("ccsga: %w", err)
 	}
 
 	sched := game.schedule(res.Assignment)
@@ -113,7 +139,7 @@ func CCSGA(cm *CostModel, opts CCSGAOptions) (*CCSGAResult, error) {
 		Passes:     res.Passes,
 		Converged:  res.Converged,
 		NashStable: nash,
-	}, nil
+	}, game, res.Assignment, nil
 }
 
 // assignmentSchedule converts a device→charger assignment into a
@@ -137,6 +163,12 @@ func assignmentSchedule(assign []int, numChargers int) *Schedule {
 type chargerGame struct {
 	cm     *CostModel
 	scheme SharingScheme
+	// in is the instance behind cm, hoisted once at construction: Share,
+	// join and leave sit on the innermost solver loop and must not pay a
+	// method call (and pointer chase) per evaluation. The pointer stays
+	// valid across CostModel delta ops, which mutate the Instance in
+	// place.
+	in *Instance
 
 	// chargerOf maps slot → charger index.
 	chargerOf []int
@@ -149,6 +181,14 @@ type chargerGame struct {
 	purchased []float64 // Σ demand_i/η
 	moveSum   []float64
 	sigmaSum  []float64
+
+	// sigma memoizes each device's standalone cost at construction:
+	// Share's ESS branch needs it twice per evaluation and join/leave
+	// once each, and it never changes during a solve. A persisted game
+	// (RepairState) keeps it current through the mutation listener; under
+	// PDS the values only feed the (unused) sigmaSum aggregate, so a
+	// stale entry after a tariff swap is harmless there.
+	sigma []float64
 
 	pds bool // scheme is PDS (otherwise ESS semantics)
 }
@@ -189,7 +229,7 @@ func SessionSlots(cm *CostModel) (chargerOf, firstSlot []int) {
 }
 
 func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
-	g := &chargerGame{cm: cm, scheme: scheme}
+	g := &chargerGame{cm: cm, scheme: scheme, in: cm.Instance()}
 	switch scheme.(type) {
 	case PDS:
 		g.pds = true
@@ -205,6 +245,10 @@ func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
 	g.moveSum = make([]float64, n)
 	g.sigmaSum = make([]float64, n)
 	g.cur = make([]int, cm.NumDevices())
+	g.sigma = make([]float64, cm.NumDevices())
+	for i := range g.sigma {
+		g.sigma[i], _ = cm.StandaloneCost(i)
+	}
 	return g, nil
 }
 
@@ -314,23 +358,19 @@ func (g *chargerGame) reset(assign []int) {
 }
 
 func (g *chargerGame) join(i, s int) {
-	in := g.cm.Instance()
 	j := g.chargerOf[s]
 	g.count[s]++
-	g.purchased[s] += in.Devices[i].Demand / in.Chargers[j].Efficiency
+	g.purchased[s] += g.in.Devices[i].Demand / g.in.Chargers[j].Efficiency
 	g.moveSum[s] += g.cm.MovingCost(i, j)
-	sigma, _ := g.cm.StandaloneCost(i)
-	g.sigmaSum[s] += sigma
+	g.sigmaSum[s] += g.sigma[i]
 }
 
 func (g *chargerGame) leave(i, s int) {
-	in := g.cm.Instance()
 	j := g.chargerOf[s]
 	g.count[s]--
-	g.purchased[s] -= in.Devices[i].Demand / in.Chargers[j].Efficiency
+	g.purchased[s] -= g.in.Devices[i].Demand / g.in.Chargers[j].Efficiency
 	g.moveSum[s] -= g.cm.MovingCost(i, j)
-	sigma, _ := g.cm.StandaloneCost(i)
-	g.sigmaSum[s] -= sigma
+	g.sigmaSum[s] -= g.sigma[i]
 }
 
 // NumAgents implements coalition.Game.
@@ -342,10 +382,9 @@ func (g *chargerGame) NumStrategies() int { return len(g.chargerOf) }
 // Share implements coalition.Game: device i's cost share if it joined
 // session slot s, holding everyone else fixed.
 func (g *chargerGame) Share(i, s int) float64 {
-	in := g.cm.Instance()
 	j := g.chargerOf[s]
-	ch := in.Chargers[j]
-	myPurchased := in.Devices[i].Demand / ch.Efficiency
+	ch := &g.in.Chargers[j]
+	myPurchased := g.in.Devices[i].Demand / ch.Efficiency
 	myMove := g.cm.MovingCost(i, j)
 
 	cnt := g.count[s]
@@ -359,8 +398,7 @@ func (g *chargerGame) Share(i, s int) float64 {
 		cnt++
 		purch += myPurchased
 		moveSum += myMove
-		sigma, _ := g.cm.StandaloneCost(i)
-		sigmaSum += sigma
+		sigmaSum += g.sigma[i]
 	}
 	charging := ch.Fee + ch.Tariff.Price(purch)
 	if g.pds {
@@ -369,8 +407,7 @@ func (g *chargerGame) Share(i, s int) float64 {
 	// ESS.
 	cost := charging + moveSum
 	surplusPer := (sigmaSum - cost) / float64(cnt)
-	sigma, _ := g.cm.StandaloneCost(i)
-	return sigma - surplusPer
+	return g.sigma[i] - surplusPer
 }
 
 // Move implements coalition.Game.
@@ -382,13 +419,12 @@ func (g *chargerGame) Move(i, from, to int) {
 
 // TotalCost implements coalition.SocialGame.
 func (g *chargerGame) TotalCost() float64 {
-	in := g.cm.Instance()
 	var total float64
 	for s, cnt := range g.count {
 		if cnt == 0 {
 			continue
 		}
-		ch := in.Chargers[g.chargerOf[s]]
+		ch := &g.in.Chargers[g.chargerOf[s]]
 		total += ch.Fee + ch.Tariff.Price(g.purchased[s]) + g.moveSum[s]
 	}
 	return total

@@ -197,7 +197,28 @@ type CostModel struct {
 	standalone []float64
 	// standaloneCharger[i] is the charger attaining standalone[i].
 	standaloneCharger []int
+	// listener, when non-nil, observes successful delta mutations so
+	// incremental solver state (RepairState) can track which session
+	// slots each patch dirtied. At most one listener; attaching a new one
+	// replaces the old. Listeners fire after the mutation commits —
+	// validation failures never notify.
+	listener mutationListener
 }
+
+// mutationListener receives post-commit notifications for the CostModel
+// delta ops. Indices follow the model's post-mutation order: deviceAdded
+// refers to the new last device, deviceRemoved(i) to the index that was
+// just deleted (devices after it have shifted down one).
+type mutationListener interface {
+	deviceAdded()
+	deviceRemoved(i int)
+	deviceUpdated(i int)
+	tariffSet(j int)
+}
+
+// setListener installs l as the model's single mutation listener
+// (nil detaches).
+func (cm *CostModel) setListener(l mutationListener) { cm.listener = l }
 
 // NewCostModel validates the instance and precomputes its cost tables.
 func NewCostModel(in *Instance) (*CostModel, error) {
@@ -269,6 +290,9 @@ func (cm *CostModel) AddDevice(d Device) error {
 	cm.move = append(cm.move, row)
 	cm.standalone = append(cm.standalone, standalone)
 	cm.standaloneCharger = append(cm.standaloneCharger, standaloneCharger)
+	if cm.listener != nil {
+		cm.listener.deviceAdded()
+	}
 	return nil
 }
 
@@ -297,6 +321,9 @@ func (cm *CostModel) RemoveDevice(i int) error {
 	cm.move = append(cm.move[:i], cm.move[i+1:]...)
 	cm.standalone = append(cm.standalone[:i], cm.standalone[i+1:]...)
 	cm.standaloneCharger = append(cm.standaloneCharger[:i], cm.standaloneCharger[i+1:]...)
+	if cm.listener != nil {
+		cm.listener.deviceRemoved(i)
+	}
 	return nil
 }
 
@@ -336,6 +363,9 @@ func (cm *CostModel) UpdateDevice(i int, d Device) error {
 	cm.move[i] = row
 	cm.standalone[i] = standalone
 	cm.standaloneCharger[i] = standaloneCharger
+	if cm.listener != nil {
+		cm.listener.deviceUpdated(i)
+	}
 	return nil
 }
 
@@ -366,6 +396,9 @@ func (cm *CostModel) SetTariff(j int, t pricing.Tariff) error {
 	cm.inst.Chargers[j].Tariff = t
 	for i := range cm.inst.Devices {
 		cm.standalone[i], cm.standaloneCharger[i] = cm.standaloneFor(cm.inst.Devices[i], cm.move[i])
+	}
+	if cm.listener != nil {
+		cm.listener.tariffSet(j)
 	}
 	return nil
 }

@@ -52,14 +52,28 @@ type WarmScheduler interface {
 	ScheduleWarm(cm *CostModel, ws *WarmStart) (*CCSGAResult, error)
 }
 
+// RepairScheduler is a WarmScheduler that can additionally repair a
+// previously converged equilibrium incrementally after cost-model delta
+// ops, instead of re-running the full switch dynamics.
+type RepairScheduler interface {
+	WarmScheduler
+	// ScheduleRepair solves like ScheduleWarm but routes through rs: the
+	// first solve (or any solve repair cannot handle — see RepairState)
+	// runs the full warm path and primes rs; subsequent solves repair the
+	// primed equilibrium over the dirty-slot frontier. A nil rs is
+	// exactly ScheduleWarm.
+	ScheduleRepair(cm *CostModel, ws *WarmStart, rs *RepairState) (*CCSGAResult, error)
+}
+
 // CCSGAScheduler wraps CCSGA.
 type CCSGAScheduler struct {
 	Opts CCSGAOptions
 }
 
 var (
-	_ Scheduler     = CCSGAScheduler{}
-	_ WarmScheduler = CCSGAScheduler{}
+	_ Scheduler       = CCSGAScheduler{}
+	_ WarmScheduler   = CCSGAScheduler{}
+	_ RepairScheduler = CCSGAScheduler{}
 )
 
 // Name implements Scheduler.
@@ -93,6 +107,14 @@ func (s CCSGAScheduler) ScheduleWarm(cm *CostModel, ws *WarmStart) (*CCSGAResult
 		ws.Record(cm.Instance(), res.Schedule)
 	}
 	return res, nil
+}
+
+// ScheduleRepair implements RepairScheduler.
+func (s CCSGAScheduler) ScheduleRepair(cm *CostModel, ws *WarmStart, rs *RepairState) (*CCSGAResult, error) {
+	if rs == nil {
+		return s.ScheduleWarm(cm, ws)
+	}
+	return rs.solve(cm, s.Opts, ws)
 }
 
 // OptimalScheduler wraps Optimal; it fails on instances larger than

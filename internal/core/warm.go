@@ -26,6 +26,18 @@ func NewWarmStart() *WarmStart {
 // Len reports how many devices the carrier remembers.
 func (w *WarmStart) Len() int { return len(w.charger) }
 
+// set records one device's charger directly. The incremental repair path
+// uses it to keep the carrier current in O(seat changes) per solve — the
+// resulting map is identical to a full Record of the repaired schedule,
+// because every unchanged device already carries its (unchanged) charger
+// from the priming Record.
+func (w *WarmStart) set(id string, charger int) {
+	if w.charger == nil {
+		w.charger = make(map[string]int)
+	}
+	w.charger[id] = charger
+}
+
 // Record stores the schedule's device→charger choices keyed by device ID,
 // overwriting earlier entries for returning devices. Devices absent from
 // the schedule keep their previous entry: a device that sat out a round

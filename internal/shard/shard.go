@@ -92,6 +92,10 @@ type Planner struct {
 	field    geom.Rect
 	chargers []core.Charger
 	sched    core.WarmScheduler
+	// repair is sched when it can repair equilibria incrementally
+	// (core.CCSGAScheduler can); nil schedulers without the capability
+	// keep the full warm re-solve on the reconciliation path.
+	repair core.RepairScheduler
 
 	cell       float64
 	cols, rows int
@@ -125,6 +129,9 @@ func NewPlanner(field geom.Rect, chargers []core.Charger, sched core.WarmSchedul
 		cell:     cfg.CellSize,
 		cols:     gridDim(field.Width(), cfg.CellSize),
 		rows:     gridDim(field.Height(), cfg.CellSize),
+	}
+	if rsched, ok := sched.(core.RepairScheduler); ok {
+		p.repair = rsched
 	}
 	p.shardOfCell = make(map[int]int)
 	p.chargerCell = make([]int, len(chargers))
@@ -417,6 +424,11 @@ type shardRun struct {
 	cm      *core.CostModel
 	res     *core.CCSGAResult
 	coalOf  []int // local device -> coalition index, built lazily
+	// rs holds the shard's converged equilibrium for incremental repair
+	// on the reconciliation re-solve; nil when the planner's scheduler
+	// cannot repair. Rounds rebuild cost models, so the state lives one
+	// round only.
+	rs *core.RepairState
 }
 
 // Solve runs one sharded round over the devices: partition, parallel
@@ -443,11 +455,21 @@ func (p *Planner) Solve(devices []core.Device) (*Result, error) {
 		if err != nil {
 			return fmt.Errorf("shard: cell %d: %w", p.shards[k].cell, err)
 		}
-		res, err := p.sched.ScheduleWarm(cm, p.warm[k])
+		var res *core.CCSGAResult
+		var rs *core.RepairState
+		if p.repair != nil {
+			// An unprimed repair state runs exactly the warm path and
+			// primes itself with the converged equilibrium, arming the
+			// reconciliation re-solve below for incremental repair.
+			rs = core.NewRepairState()
+			res, err = p.repair.ScheduleRepair(cm, p.warm[k], rs)
+		} else {
+			res, err = p.sched.ScheduleWarm(cm, p.warm[k])
+		}
 		if err != nil {
 			return fmt.Errorf("shard: cell %d: %w", p.shards[k].cell, err)
 		}
-		runs[k] = shardRun{devices: devs, cm: cm, res: res}
+		runs[k] = shardRun{devices: devs, cm: cm, res: res, rs: rs}
 		return nil
 	}
 	if err := par.Map(context.Background(), p.cfg.Workers, len(p.shards), solve); err != nil {
@@ -540,6 +562,29 @@ func (p *Planner) Solve(devices []core.Device) (*Result, error) {
 			}
 			if len(keep) == 0 {
 				runs[k] = shardRun{}
+				return nil
+			}
+			if runs[k].rs != nil {
+				// Incremental path: patch the shard's existing cost model —
+				// the delta ops tell the repair state which slots went dirty
+				// — and repair the primed equilibrium instead of rebuilding
+				// the model and re-running the full dynamics. Removals go
+				// descending so local indices stay valid.
+				cm := runs[k].cm
+				local := make([]int, len(gone))
+				for gi, i := range gone {
+					local[gi] = sort.SearchInts(runs[k].devices, i)
+				}
+				for gi := len(local) - 1; gi >= 0; gi-- {
+					if err := cm.RemoveDevice(local[gi]); err != nil {
+						return fmt.Errorf("shard: cell %d: %w", p.shards[k].cell, err)
+					}
+				}
+				res, err := p.repair.ScheduleRepair(cm, p.warm[k], runs[k].rs)
+				if err != nil {
+					return fmt.Errorf("shard: cell %d: %w", p.shards[k].cell, err)
+				}
+				runs[k] = shardRun{devices: keep, cm: cm, res: res, rs: runs[k].rs}
 				return nil
 			}
 			cm, err := core.NewCostModel(p.subInstance(k, devices, keep))
