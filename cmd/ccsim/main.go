@@ -42,6 +42,9 @@ func run(args []string, out io.Writer) error {
 		shCell  = fs.Float64("shard-cell", 0, "override the scale study's (ext5-scale) grid cell side, meters (0 = per-size default)")
 		shOver  = fs.Float64("shard-overlap", 0, "override the scale study's boundary band width, meters (0 = per-size default)")
 		shWork  = fs.Int("shard-workers", 0, "pin the scale study's per-round solve workers instead of sweeping 1 and 4 (0 = sweep)")
+		mobFrac = fs.Float64("mobile-frac", 0, "override the heterogeneous-fleet study's (ext4-mobile) mobile charger fraction, (0,1] (0 = default 0.5)")
+		covK    = fs.Int("coverage-k", 0, "enable the k-coverage validity layer: required session count within -coverage-radius (0 = default behavior)")
+		covR    = fs.Float64("coverage-radius", 0, "k-coverage reach in meters; required with -coverage-k")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memProf = fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
 		metrics = fs.String("metrics", "", "write a Prometheus text snapshot of the runs' solver diagnostics to this file (populated by experiments that use the online loop, e.g. ext3-online)")
@@ -55,6 +58,18 @@ func run(args []string, out io.Writer) error {
 	}
 	if *shCell < 0 || *shOver < 0 || *shWork < 0 {
 		return fmt.Errorf("-shard-cell, -shard-overlap and -shard-workers must be >= 0")
+	}
+	if *mobFrac < 0 || *mobFrac > 1 {
+		return fmt.Errorf("-mobile-frac must be in [0,1], got %v", *mobFrac)
+	}
+	if *covK < 0 || *covR < 0 {
+		return fmt.Errorf("-coverage-k and -coverage-radius must be >= 0")
+	}
+	if *covK > 0 && *covR == 0 {
+		return fmt.Errorf("-coverage-k %d requires a positive -coverage-radius", *covK)
+	}
+	if *covK == 0 && *covR > 0 {
+		return fmt.Errorf("-coverage-radius requires -coverage-k >= 1")
 	}
 	// An explicit -seed flag — even -seed 0 — is an intentional choice;
 	// only an absent flag falls through to the 2021 default.
@@ -126,6 +141,7 @@ func run(args []string, out io.Writer) error {
 	cfg := experiment.Config{
 		Seed: *seed, SeedSet: seedSet, Reps: *reps, Quick: *quick, Workers: *workers,
 		WarmStart: *warm, ShardCell: *shCell, ShardOverlap: *shOver, ShardWorkers: *shWork, Obs: reg,
+		MobileFrac: *mobFrac, CoverageK: *covK, CoverageRadius: *covR,
 	}
 	for i, e := range exps {
 		if i > 0 {

@@ -36,6 +36,11 @@ func OptimalBnB(cm *CostModel, opts BnBOptions) (*Schedule, error) {
 		// one-coalition-per-charger search below cannot represent.
 		return nil, fmt.Errorf("core: OptimalBnB does not support session capacities; use Optimal")
 	}
+	if cm.HasMobility() {
+		// The incremental bounds price member moving costs only; a mobile
+		// charger's tour term breaks their admissibility.
+		return nil, fmt.Errorf("core: OptimalBnB does not support mobile chargers (tour-aware session costs); use CCSA or CCSGA")
+	}
 	n, m := cm.NumDevices(), cm.NumChargers()
 	in := cm.Instance()
 

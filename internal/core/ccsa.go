@@ -159,9 +159,10 @@ func CCSA(cm *CostModel, opts CCSAOptions) (*CCSAResult, error) {
 		// (the charger is typically popped and refreshed first next round).
 	}
 	// Merging same-charger sessions never raises cost under concave
-	// tariffs — but it can overflow a session capacity, so capacitated
-	// schedules keep their sessions separate.
-	if !cm.HasCapacity() {
+	// tariffs (for mobile chargers the merged tour is subadditive in the
+	// same way) — but it can overflow a session capacity or a travel
+	// budget, so those schedules keep their sessions separate.
+	if !cm.HasCapacity() && !cm.HasTravelBudget() {
 		res.Schedule.MergeSameCharger()
 	}
 	return res, nil
@@ -179,11 +180,14 @@ func oracleIsExact(cm *CostModel, numUncovered int, opts CCSAOptions) (bool, err
 		if cm.HasCapacity() {
 			return false, fmt.Errorf("SFM oracle does not support session capacities (the constraint breaks submodularity); use PrefixOracle")
 		}
+		if cm.HasMobility() {
+			return false, fmt.Errorf("SFM oracle does not support mobile chargers (the tour term breaks submodularity); use PrefixOracle")
+		}
 		return true, nil
 	case PrefixOracle:
 		return false, nil
 	default:
-		return numUncovered <= 64 && !cm.HasCapacity(), nil
+		return numUncovered <= 64 && !cm.HasCapacity() && !cm.HasMobility(), nil
 	}
 }
 
@@ -260,6 +264,12 @@ func prefixOracle(cm *CostModel, j int, uncovered []int) ([]int, float64) {
 	weight := make([]float64, len(order))
 	for k, i := range order {
 		weight[k] = cm.MovingCost(i, j) + rate*in.Devices[i].Demand/ch.Efficiency
+		if ch.Mobile {
+			// Linearized travel: the round trip the charger would drive
+			// for this device alone, so nearby devices sort first and
+			// the prefix grows a compact tour.
+			weight[k] += ch.MoveRate * 2 * ch.Home().Dist(in.Devices[i].Pos)
+		}
 	}
 	sort.Sort(&byWeight{order: order, weight: weight})
 	var (
@@ -267,6 +277,7 @@ func prefixOracle(cm *CostModel, j int, uncovered []int) ([]int, float64) {
 		bestRatio = math.Inf(1)
 		demand    float64
 		moveSum   float64
+		prefix    []int // mobile only: the prefix members, for tour re-planning
 	)
 	for k := 1; k <= len(order); k++ {
 		i := order[k-1]
@@ -275,7 +286,18 @@ func prefixOracle(cm *CostModel, j int, uncovered []int) ([]int, float64) {
 			break // demands are positive: larger prefixes stay infeasible
 		}
 		moveSum += cm.MovingCost(i, j)
-		ratio := (ch.Fee + ch.Tariff.Price(demand/ch.Efficiency) + moveSum) / float64(k)
+		cost := ch.Fee + ch.Tariff.Price(demand/ch.Efficiency) + moveSum
+		if ch.Mobile {
+			// Re-plan the charger's tour for every candidate prefix: the
+			// greedy commits coalition and route jointly.
+			prefix = append(prefix, i)
+			tourLen := cm.TourLength(prefix, j)
+			if ch.TravelBudget > 0 && tourLen > ch.TravelBudget*(1+1e-12) {
+				break // heuristic prune: larger prefixes plan longer tours
+			}
+			cost += ch.MoveRate * tourLen
+		}
+		ratio := cost / float64(k)
 		if ratio < bestRatio {
 			bestRatio, bestK = ratio, k
 		}

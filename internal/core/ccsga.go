@@ -190,6 +190,18 @@ type chargerGame struct {
 	// stale entry after a tariff swap is harmless there.
 	sigma []float64
 
+	// Mobility state, allocated only when the instance has mobile
+	// chargers: slotMembers[s] lists slot s's current members in
+	// ascending device order, and routeLen[s] is the canonical planned
+	// tour length over them (tour.Plan from the charger's home, members
+	// ascending). Join and leave re-plan the touched slot's tour, so
+	// tour-aware shares depend only on the member set, never on join
+	// history — the property the pure-Nash verification needs.
+	mobility    bool
+	slotMembers [][]int
+	routeLen    []float64
+	tourScratch []int // planWith's reusable hypothetical member list
+
 	pds bool // scheme is PDS (otherwise ESS semantics)
 }
 
@@ -249,17 +261,24 @@ func newChargerGame(cm *CostModel, scheme SharingScheme) (*chargerGame, error) {
 	for i := range g.sigma {
 		g.sigma[i], _ = cm.StandaloneCost(i)
 	}
+	if cm.HasMobility() {
+		g.mobility = true
+		g.slotMembers = make([][]int, n)
+		g.routeLen = make([]float64, n)
+	}
 	return g, nil
 }
 
 // initialAssignment returns the starting device→slot assignment: the
-// noncooperative one, except that under session capacities devices are
-// packed greedily (largest demand first, cheapest slot with room).
+// noncooperative one, except that under session capacities or travel
+// budgets devices are packed greedily (largest demand first, cheapest
+// slot with room — capacity room and, for budgeted mobile chargers,
+// tour-budget room).
 func (g *chargerGame) initialAssignment() ([]int, error) {
 	cm := g.cm
 	in := cm.Instance()
 	init := make([]int, cm.NumDevices())
-	if !cm.HasCapacity() {
+	if !cm.HasCapacity() && !cm.HasTravelBudget() {
 		for i := range init {
 			_, j := cm.StandaloneCost(i)
 			init[i] = g.firstSlot[j]
@@ -277,6 +296,7 @@ func (g *chargerGame) initialAssignment() ([]int, error) {
 	for s, j := range g.chargerOf {
 		remaining[s] = in.Chargers[j].Capacity // 0 = unlimited
 	}
+	fitter := newBudgetFitter(cm, g.chargerOf)
 	for _, i := range order {
 		bestS, bestCost := -1, 0.0
 		for s, j := range g.chargerOf {
@@ -285,14 +305,18 @@ func (g *chargerGame) initialAssignment() ([]int, error) {
 			if ch.Capacity > 0 && need > remaining[s]*(1+1e-12) {
 				continue
 			}
+			if !fitter.fits(i, s) {
+				continue
+			}
 			if c := cm.SessionCost([]int{i}, j); bestS < 0 || c < bestCost {
 				bestS, bestCost = s, c
 			}
 		}
 		if bestS < 0 {
-			return nil, fmt.Errorf("device %s fits no session slot: capacities too tight", in.Devices[i].ID)
+			return nil, fmt.Errorf("device %s fits no session slot: capacities or travel budgets too tight", in.Devices[i].ID)
 		}
 		init[i] = bestS
+		fitter.take(i, bestS)
 		if cap := in.Chargers[g.chargerOf[bestS]].Capacity; cap > 0 {
 			remaining[bestS] -= in.Devices[i].Demand / in.Chargers[g.chargerOf[bestS]].Efficiency
 		}
@@ -320,6 +344,23 @@ func (g *chargerGame) validateInit(init []int) error {
 		if cap := in.Chargers[g.chargerOf[s]].Capacity; cap > 0 && p > cap*(1+1e-12) {
 			return fmt.Errorf("init overfills slot %d (charger %d): %.1f J > %.1f J capacity",
 				s, g.chargerOf[s], p, cap)
+		}
+	}
+	if cm.HasTravelBudget() {
+		members := make([][]int, len(g.chargerOf))
+		for i, s := range init {
+			members[s] = append(members[s], i) // ascending: i iterates in order
+		}
+		for s, ms := range members {
+			j := g.chargerOf[s]
+			ch := &in.Chargers[j]
+			if !ch.Mobile || ch.TravelBudget == 0 || len(ms) == 0 {
+				continue
+			}
+			if l := cm.TourLength(ms, j); l > ch.TravelBudget*(1+1e-12) {
+				return fmt.Errorf("init overruns slot %d (charger %d) travel budget: %.1f m > %.1f m",
+					s, j, l, ch.TravelBudget)
+			}
 		}
 	}
 	return nil
@@ -351,6 +392,12 @@ func (g *chargerGame) reset(assign []int) {
 		g.moveSum[s] = 0
 		g.sigmaSum[s] = 0
 	}
+	if g.mobility {
+		for s := range g.slotMembers {
+			g.slotMembers[s] = g.slotMembers[s][:0]
+			g.routeLen[s] = 0
+		}
+	}
 	copy(g.cur, assign)
 	for i, s := range assign {
 		g.join(i, s)
@@ -363,6 +410,17 @@ func (g *chargerGame) join(i, s int) {
 	g.purchased[s] += g.in.Devices[i].Demand / g.in.Chargers[j].Efficiency
 	g.moveSum[s] += g.cm.MovingCost(i, j)
 	g.sigmaSum[s] += g.sigma[i]
+	if g.mobility {
+		ms := g.slotMembers[s]
+		at := sort.SearchInts(ms, i)
+		ms = append(ms, 0)
+		copy(ms[at+1:], ms[at:])
+		ms[at] = i
+		g.slotMembers[s] = ms
+		if g.in.Chargers[j].Mobile {
+			g.routeLen[s] = g.cm.TourLength(ms, j)
+		}
+	}
 }
 
 func (g *chargerGame) leave(i, s int) {
@@ -371,6 +429,14 @@ func (g *chargerGame) leave(i, s int) {
 	g.purchased[s] -= g.in.Devices[i].Demand / g.in.Chargers[j].Efficiency
 	g.moveSum[s] -= g.cm.MovingCost(i, j)
 	g.sigmaSum[s] -= g.sigma[i]
+	if g.mobility {
+		ms := g.slotMembers[s]
+		at := sort.SearchInts(ms, i)
+		g.slotMembers[s] = append(ms[:at], ms[at+1:]...)
+		if g.in.Chargers[j].Mobile {
+			g.routeLen[s] = g.cm.TourLength(g.slotMembers[s], j)
+		}
+	}
 }
 
 // NumAgents implements coalition.Game.
@@ -401,6 +467,22 @@ func (g *chargerGame) Share(i, s int) float64 {
 		sigmaSum += g.sigma[i]
 	}
 	charging := ch.Fee + ch.Tariff.Price(purch)
+	if g.mobility && ch.Mobile {
+		// Tour-aware share: the charger's travel over its re-planned
+		// rendezvous tour is a session-level cost like the fee, so it
+		// folds into the term both schemes split among the members. A
+		// hypothetical join prices the marginal detour of the re-planned
+		// tour with the device included — and is infeasible outright when
+		// that tour overruns the charger's travel budget.
+		tourLen := g.routeLen[s]
+		if g.cur[i] != s {
+			tourLen = g.planWith(s, i)
+			if ch.TravelBudget > 0 && tourLen > ch.TravelBudget*(1+1e-12) {
+				return math.Inf(1)
+			}
+		}
+		charging += ch.MoveRate * tourLen
+	}
 	if g.pds {
 		return myMove + charging*myPurchased/purch
 	}
@@ -417,6 +499,20 @@ func (g *chargerGame) Move(i, from, to int) {
 	g.cur[i] = to
 }
 
+// planWith returns the planned tour length of slot s's members with
+// device i hypothetically joined, reusing a scratch buffer so Share's
+// inner loop does not allocate the member list per evaluation.
+func (g *chargerGame) planWith(s, i int) float64 {
+	ms := g.slotMembers[s]
+	at := sort.SearchInts(ms, i)
+	buf := g.tourScratch[:0]
+	buf = append(buf, ms[:at]...)
+	buf = append(buf, i)
+	buf = append(buf, ms[at:]...)
+	g.tourScratch = buf
+	return g.cm.TourLength(buf, g.chargerOf[s])
+}
+
 // TotalCost implements coalition.SocialGame.
 func (g *chargerGame) TotalCost() float64 {
 	var total float64
@@ -426,6 +522,9 @@ func (g *chargerGame) TotalCost() float64 {
 		}
 		ch := &g.in.Chargers[g.chargerOf[s]]
 		total += ch.Fee + ch.Tariff.Price(g.purchased[s]) + g.moveSum[s]
+		if g.mobility && ch.Mobile {
+			total += ch.MoveRate * g.routeLen[s]
+		}
 	}
 	return total
 }

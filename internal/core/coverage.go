@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// CoverageError reports the first device that fewer than k active
+// sessions reach.
+type CoverageError struct {
+	// Device indexes Instance.Devices; ID is its identifier.
+	Device int
+	ID     string
+	// Covered is how many sessions reach the device; K is the requirement.
+	Covered int
+	K       int
+}
+
+func (e *CoverageError) Error() string {
+	return fmt.Sprintf("core: device %d (%s) within reach of %d active sessions, need %d",
+		e.Device, e.ID, e.Covered, e.K)
+}
+
+// ValidateKCoverage checks the optional k-coverage validity layer: every
+// device — member or not — must be within radius (meters, inclusive) of
+// at least k of the schedule's active sessions. A session's service
+// sites are where charging actually happens: the charger position for a
+// stationary session; the member rendezvous stops plus the charger's
+// home for a mobile one. A session reaches a device when any of its
+// sites is within radius; each session counts at most once per device.
+// The first under-covered device is reported as a *CoverageError.
+func (cm *CostModel) ValidateKCoverage(s *Schedule, k int, radius float64) error {
+	if k < 1 {
+		return fmt.Errorf("core: k-coverage requires k >= 1, got %d", k)
+	}
+	counts, err := cm.CoverageCounts(s, radius)
+	if err != nil {
+		return err
+	}
+	for i, covered := range counts {
+		if covered < k {
+			return &CoverageError{Device: i, ID: cm.inst.Devices[i].ID, Covered: covered, K: k}
+		}
+	}
+	return nil
+}
+
+// CoverageCounts returns, per device, how many of the schedule's active
+// sessions reach it within radius (meters, inclusive) — the quantity
+// ValidateKCoverage thresholds at k. Session service sites follow the
+// same rule: charger position when stationary, member stops plus home
+// when mobile; a session counts at most once per device.
+func (cm *CostModel) CoverageCounts(s *Schedule, radius float64) ([]int, error) {
+	if radius <= 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		return nil, fmt.Errorf("core: k-coverage radius %v invalid", radius)
+	}
+	sites := make([][]geom.Point, len(s.Coalitions))
+	for c, co := range s.Coalitions {
+		ch := &cm.inst.Chargers[co.Charger]
+		if !ch.Mobile {
+			sites[c] = []geom.Point{ch.Pos}
+			continue
+		}
+		pts := make([]geom.Point, 0, len(co.Members)+1)
+		for _, i := range co.Members {
+			pts = append(pts, cm.inst.Devices[i].Pos)
+		}
+		pts = append(pts, ch.Home())
+		sites[c] = pts
+	}
+	r2 := radius * radius
+	counts := make([]int, len(cm.inst.Devices))
+	for i, d := range cm.inst.Devices {
+		for c := range sites {
+			for _, p := range sites[c] {
+				if d.Pos.Dist2(p) <= r2 {
+					counts[i]++
+					break
+				}
+			}
+		}
+	}
+	return counts, nil
+}

@@ -50,6 +50,29 @@ type Charger struct {
 	// battery packs and are the extension studied by the capacitated
 	// variant of every scheduler.
 	Capacity float64
+	// Mobile marks a charger that drives to its members instead of the
+	// members traveling to it: devices pay no moving cost toward a
+	// mobile charger, and the session cost gains a travel leg —
+	// MoveRate times the planned round-trip tour from the charger's
+	// home through every member's position. The zero value (stationary,
+	// all mobility attributes zero) reproduces the paper's model bit
+	// for bit.
+	Mobile bool
+	// MoveRate is the mobile charger's travel cost per meter, $/m
+	// (>= 0). Must be zero on a stationary charger.
+	MoveRate float64
+	// Speed is the mobile charger's cruise speed, m/s (>= 0,
+	// informational: it converts tour length into dispatch duration).
+	// Must be zero on a stationary charger.
+	Speed float64
+	// TravelBudget, when positive, caps the round-trip tour length a
+	// mobile charger can drive in one session, meters; zero means
+	// unlimited. Must be zero on a stationary charger.
+	TravelBudget float64
+	// Depot, when nonzero, is the home point where a mobile charger's
+	// tours start and end; the zero value means tours start at Pos.
+	// Must be zero on a stationary charger. See Home.
+	Depot geom.Point
 }
 
 // Instance is one CCS problem: a set of devices to be partitioned into
@@ -76,6 +99,9 @@ func (in *Instance) Validate() error {
 	}
 	var maxDemand float64
 	for i, d := range in.Devices {
+		if !finitePoint(d.Pos) {
+			return fmt.Errorf("core: device %d (%s) position %v non-finite", i, d.ID, d.Pos)
+		}
 		if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
 			return fmt.Errorf("core: device %d (%s) demand %v invalid", i, d.ID, d.Demand)
 		}
@@ -85,8 +111,14 @@ func (in *Instance) Validate() error {
 		maxDemand += d.Demand
 	}
 	for j, c := range in.Chargers {
+		if !finitePoint(c.Pos) {
+			return fmt.Errorf("core: charger %d (%s) position %v non-finite", j, c.ID, c.Pos)
+		}
 		if c.Fee < 0 || math.IsNaN(c.Fee) {
 			return fmt.Errorf("core: charger %d (%s) fee %v invalid", j, c.ID, c.Fee)
+		}
+		if err := c.validateMobility(); err != nil {
+			return fmt.Errorf("core: charger %d (%s): %w", j, c.ID, err)
 		}
 		if c.Efficiency <= 0 || c.Efficiency > 1 {
 			return fmt.Errorf("core: charger %d (%s) efficiency %v outside (0,1]", j, c.ID, c.Efficiency)
@@ -102,17 +134,23 @@ func (in *Instance) Validate() error {
 		}
 	}
 	// Capacitated feasibility: every device must fit alone at some
-	// charger, or no schedule exists at all.
+	// charger — within session capacity and, for mobile chargers with a
+	// travel budget, within round-trip reach — or no schedule exists at
+	// all.
 	for i, d := range in.Devices {
 		fits := false
 		for _, c := range in.Chargers {
-			if c.Capacity == 0 || d.Demand/c.Efficiency <= c.Capacity {
-				fits = true
-				break
+			if c.Capacity > 0 && d.Demand/c.Efficiency > c.Capacity {
+				continue
 			}
+			if !c.reaches(d.Pos) {
+				continue
+			}
+			fits = true
+			break
 		}
 		if !fits {
-			return fmt.Errorf("core: device %d (%s) fits no charger's session capacity", i, d.ID)
+			return fmt.Errorf("core: device %d (%s) fits no charger's session capacity or travel budget", i, d.ID)
 		}
 	}
 	return nil
@@ -203,6 +241,12 @@ type CostModel struct {
 	// replaces the old. Listeners fire after the mutation commits —
 	// validation failures never notify.
 	listener mutationListener
+	// hasMobility and hasBudget cache whether any charger is mobile
+	// (respectively: mobile with a travel budget). Chargers never change
+	// after construction, so the flags are computed once; they keep the
+	// stationary hot paths branch-cheap.
+	hasMobility bool
+	hasBudget   bool
 }
 
 // mutationListener receives post-commit notifications for the CostModel
@@ -232,6 +276,14 @@ func NewCostModel(in *Instance) (*CostModel, error) {
 		standalone:        make([]float64, n),
 		standaloneCharger: make([]int, n),
 	}
+	for _, c := range in.Chargers {
+		if c.Mobile {
+			cm.hasMobility = true
+			if c.TravelBudget > 0 {
+				cm.hasBudget = true
+			}
+		}
+	}
 	for i, d := range in.Devices {
 		cm.move[i], cm.standalone[i], cm.standaloneCharger[i] = cm.deviceRow(d)
 	}
@@ -245,6 +297,9 @@ func (cm *CostModel) deviceRow(d Device) (row []float64, standalone float64, sta
 	m := len(cm.inst.Chargers)
 	row = make([]float64, m)
 	for j := range cm.inst.Chargers {
+		if cm.inst.Chargers[j].Mobile {
+			continue // the charger drives to the device: row[j] stays 0
+		}
 		row[j] = d.MoveRate * d.Pos.Dist(cm.inst.Chargers[j].Pos)
 	}
 	standalone, standaloneCharger = cm.standaloneFor(d, row)
@@ -261,6 +316,12 @@ func (cm *CostModel) standaloneFor(d Device, row []float64) (float64, int) {
 			continue
 		}
 		cost := c.Fee + c.Tariff.Price(d.Demand/c.Efficiency) + row[j]
+		if c.Mobile {
+			if !c.reaches(d.Pos) {
+				continue
+			}
+			cost += c.MoveRate * 2 * c.Home().Dist(d.Pos)
+		}
 		if cost < best {
 			best, bestJ = cost, j
 		}
@@ -276,6 +337,9 @@ func (cm *CostModel) standaloneFor(d Device, row []float64) (float64, int) {
 // not re-checked. The tables are bit-identical to a fresh NewCostModel
 // over the grown instance.
 func (cm *CostModel) AddDevice(d Device) error {
+	if !finitePoint(d.Pos) {
+		return fmt.Errorf("core: device %s position %v non-finite", d.ID, d.Pos)
+	}
 	if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
 		return fmt.Errorf("core: device %s demand %v invalid", d.ID, d.Demand)
 	}
@@ -284,7 +348,7 @@ func (cm *CostModel) AddDevice(d Device) error {
 	}
 	row, standalone, standaloneCharger := cm.deviceRow(d)
 	if standaloneCharger < 0 {
-		return fmt.Errorf("core: device %s fits no charger's session capacity", d.ID)
+		return fmt.Errorf("core: device %s fits no charger's session capacity or travel budget", d.ID)
 	}
 	cm.inst.Devices = append(cm.inst.Devices, d)
 	cm.move = append(cm.move, row)
@@ -338,6 +402,9 @@ func (cm *CostModel) UpdateDevice(i int, d Device) error {
 	if i < 0 || i >= n {
 		return fmt.Errorf("core: update device %d of %d", i, n)
 	}
+	if !finitePoint(d.Pos) {
+		return fmt.Errorf("core: device %s position %v non-finite", d.ID, d.Pos)
+	}
 	if d.Demand <= 0 || math.IsNaN(d.Demand) || math.IsInf(d.Demand, 0) {
 		return fmt.Errorf("core: device %s demand %v invalid", d.ID, d.Demand)
 	}
@@ -357,7 +424,7 @@ func (cm *CostModel) UpdateDevice(i int, d Device) error {
 		row, standalone, standaloneCharger = cm.deviceRow(d)
 	}
 	if standaloneCharger < 0 {
-		return fmt.Errorf("core: device %s fits no charger's session capacity", d.ID)
+		return fmt.Errorf("core: device %s fits no charger's session capacity or travel budget", d.ID)
 	}
 	cm.inst.Devices[i] = d
 	cm.move[i] = row
@@ -414,13 +481,17 @@ func (cm *CostModel) HasCapacity() bool {
 }
 
 // Feasible reports whether the members' combined purchase fits charger
-// j's session capacity.
+// j's session capacity and, for a mobile charger with a travel budget,
+// whether the planned round-trip tour over the members fits the budget.
 func (cm *CostModel) Feasible(members []int, j int) bool {
-	cap := cm.inst.Chargers[j].Capacity
-	if cap == 0 {
-		return true
+	ch := &cm.inst.Chargers[j]
+	if ch.Capacity > 0 && cm.Purchased(members, j) > ch.Capacity*(1+1e-12) {
+		return false
 	}
-	return cm.Purchased(members, j) <= cap*(1+1e-12)
+	if ch.Mobile && ch.TravelBudget > 0 && cm.TourLength(members, j) > ch.TravelBudget*(1+1e-12) {
+		return false
+	}
+	return true
 }
 
 // ValidateCapacity checks every coalition of the schedule fits its
@@ -468,9 +539,12 @@ func (cm *CostModel) ChargingCost(members []int, j int) float64 {
 }
 
 // SessionCost returns the comprehensive cost of serving the members in one
-// session at charger j: charging cost plus every member's moving cost.
-// Zero for an empty member list; this makes the per-charger session cost a
-// normalized submodular set function.
+// session at charger j: charging cost plus every member's moving cost —
+// plus, for a mobile charger, the charger's own travel cost over its
+// planned rendezvous tour (TravelCost). Zero for an empty member list;
+// this makes the per-charger session cost a normalized submodular set
+// function in the stationary case (the tour term is subadditive but not
+// submodular, which is why the exact schedulers reject mobile instances).
 func (cm *CostModel) SessionCost(members []int, j int) float64 {
 	if len(members) == 0 {
 		return 0
@@ -478,6 +552,9 @@ func (cm *CostModel) SessionCost(members []int, j int) float64 {
 	cost := cm.ChargingCost(members, j)
 	for _, i := range members {
 		cost += cm.move[i][j]
+	}
+	if cm.hasMobility {
+		cost += cm.TravelCost(members, j)
 	}
 	return cost
 }

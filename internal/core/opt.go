@@ -21,6 +21,11 @@ func Optimal(cm *CostModel) (*Schedule, error) {
 	if n > MaxOptimalDevices {
 		return nil, fmt.Errorf("core: Optimal limited to %d devices, got %d", MaxOptimalDevices, n)
 	}
+	if cm.HasMobility() {
+		// The DP prices sessions as fee + tariff + member moving costs;
+		// a mobile charger's tour term would silently be dropped.
+		return nil, fmt.Errorf("core: Optimal does not support mobile chargers (tour-aware session costs); use CCSA or CCSGA")
+	}
 	size := 1 << uint(n)
 	in := cm.Instance()
 

@@ -210,6 +210,12 @@ func (rs *RepairState) solve(cm *CostModel, opts CCSGAOptions, ws *WarmStart) (*
 	switch {
 	case !rs.primed:
 		// First solve through this state: plain full path, not a fallback.
+	case cm.HasMobility():
+		// Tour-aware shares re-plan routes on every membership change;
+		// the dirty-slot frontier cannot bound which slots a re-planned
+		// tour touches, so mobile instances always take the full warm
+		// path.
+		reason = "mobile chargers (tour-aware shares)"
 	case rs.fullReason != "":
 		reason = rs.fullReason
 	case rs.layoutSuspect && !rs.layoutUnchanged():

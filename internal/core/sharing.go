@@ -19,7 +19,10 @@ type SharingScheme interface {
 // cost plus a slice of the session's charging cost proportional to its
 // purchased energy. Under concave tariffs PDS is cross-monotonic — a
 // member's share never increases when the coalition grows — which places
-// the shares in the core of the induced cost-sharing game.
+// the shares in the core of the induced cost-sharing game. A mobile
+// charger's tour travel is a session-level cost like the fee and splits
+// with the same proportional rule (cross-monotonicity is then heuristic:
+// a re-planned tour can lengthen as members join).
 type PDS struct{}
 
 var _ SharingScheme = PDS{}
@@ -37,6 +40,9 @@ func (PDS) Shares(cm *CostModel, c Coalition) ([]float64, error) {
 		return nil, fmt.Errorf("core: coalition at charger %d has zero purchased energy", c.Charger)
 	}
 	charging := cm.ChargingCost(c.Members, c.Charger)
+	if cm.hasMobility {
+		charging += cm.TravelCost(c.Members, c.Charger)
+	}
 	eta := cm.Instance().Chargers[c.Charger].Efficiency
 	out := make([]float64, len(c.Members))
 	for k, i := range c.Members {

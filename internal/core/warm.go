@@ -55,12 +55,13 @@ func (w *WarmStart) Record(in *Instance, s *Schedule) {
 
 // Seed builds a validated CCSGAOptions.Init for cm: remembered devices are
 // seeded at their previous charger, everyone else at its standalone
-// charger. Under session capacities devices are packed largest-demand
-// first (the cold-start rule) into the target charger's slots, falling
-// back to the cheapest feasible slot anywhere when the target is full, so
-// Seed succeeds on every instance the cold start can handle. It returns an
-// error only when some device fits no slot at all — the same "capacities
-// too tight" condition that fails the cold start.
+// charger. Under session capacities (or mobile-charger travel budgets)
+// devices are packed largest-demand first (the cold-start rule) into the
+// target charger's slots, falling back to the cheapest feasible slot
+// anywhere when the target is full, so Seed succeeds on every instance
+// the cold start can handle. It returns an error only when some device
+// fits no slot at all — the same "capacities too tight" condition that
+// fails the cold start.
 func (w *WarmStart) Seed(cm *CostModel) ([]int, error) {
 	chargerOf, firstSlot := SessionSlots(cm)
 	in := cm.Instance()
@@ -72,7 +73,7 @@ func (w *WarmStart) Seed(cm *CostModel) ([]int, error) {
 		_, j := cm.StandaloneCost(i)
 		return j
 	}
-	if !cm.HasCapacity() {
+	if !cm.HasCapacity() && !cm.HasTravelBudget() {
 		for i := range init {
 			init[i] = firstSlot[target(i)]
 		}
@@ -89,12 +90,17 @@ func (w *WarmStart) Seed(cm *CostModel) ([]int, error) {
 	for s, j := range chargerOf {
 		remaining[s] = in.Chargers[j].Capacity // 0 = unlimited
 	}
+	fitter := newBudgetFitter(cm, chargerOf)
 	fits := func(i, s int) bool {
 		ch := in.Chargers[chargerOf[s]]
-		return ch.Capacity == 0 || in.Devices[i].Demand/ch.Efficiency <= remaining[s]*(1+1e-12)
+		if ch.Capacity > 0 && in.Devices[i].Demand/ch.Efficiency > remaining[s]*(1+1e-12) {
+			return false
+		}
+		return fitter.fits(i, s)
 	}
 	take := func(i, s int) {
 		init[i] = s
+		fitter.take(i, s)
 		if in.Chargers[chargerOf[s]].Capacity > 0 {
 			remaining[s] -= in.Devices[i].Demand / in.Chargers[chargerOf[s]].Efficiency
 		}
@@ -135,5 +141,5 @@ func (w *WarmStart) Seed(cm *CostModel) ([]int, error) {
 type seedError struct{ id string }
 
 func (e *seedError) Error() string {
-	return "core: device " + e.id + " fits no session slot: capacities too tight"
+	return "core: device " + e.id + " fits no session slot: capacities or travel budgets too tight"
 }

@@ -41,6 +41,18 @@ type Config struct {
 	ShardCell    float64
 	ShardOverlap float64
 	ShardWorkers int
+	// MobileFrac overrides the heterogeneous-fleet study's (ext4-mobile)
+	// default mobile charger fraction when positive. Other experiments
+	// ignore it. Set from cmd/ccsim's -mobile-frac flag.
+	MobileFrac float64
+	// CoverageK and CoverageRadius configure the k-coverage validity
+	// layer: ext4-mobile reports the k-covered device fraction at the
+	// radius, and the online experiment (ext3) counts rounds whose
+	// schedule leaves a device outside k sessions' reach. Zero keeps the
+	// defaults (and ext3's output byte-identical). Set from cmd/ccsim's
+	// -coverage-k and -coverage-radius flags.
+	CoverageK      int
+	CoverageRadius float64
 	// Obs, when non-nil, collects solver diagnostics from the
 	// experiments that run the online loop (ccsim -metrics). The
 	// registry is safe for the concurrent cells; table output is
@@ -115,6 +127,7 @@ func Registry() []Experiment {
 		ext2(),
 		ext3(),
 		ext4(),
+		ext4Mobile(),
 		ext5(),
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })

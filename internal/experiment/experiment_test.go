@@ -45,7 +45,7 @@ func TestFormatters(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext1-capacity", "ext2-dispatch", "ext3-online", "ext4-auction", "ext5-scale", "fig10", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"}
+	want := []string{"ext1-capacity", "ext2-dispatch", "ext3-online", "ext4-auction", "ext4-mobile", "ext5-scale", "fig10", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2"}
 	got := Registry()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

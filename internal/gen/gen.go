@@ -64,6 +64,21 @@ type Params struct {
 	TariffExponent float64
 	// EfficiencyMin/Max bound charger WPT efficiencies, (0,1].
 	EfficiencyMin, EfficiencyMax float64
+
+	// MobileFrac, when positive, marks each charger mobile with this
+	// probability (heterogeneous fleet): mobile chargers drive a
+	// round-trip tour through their members instead of devices traveling
+	// to them. Zero (the default) generates the paper's stationary fleet
+	// byte-identically — mobility draws come from their own derived
+	// stream, so enabling them never shifts the base draws.
+	MobileFrac float64
+	// ChargerMoveRateMin/Max bound a mobile charger's travel cost, $/m.
+	ChargerMoveRateMin, ChargerMoveRateMax float64
+	// ChargerSpeedMin/Max bound a mobile charger's cruise speed, m/s.
+	ChargerSpeedMin, ChargerSpeedMax float64
+	// ChargerBudgetMin/Max bound a mobile charger's per-session travel
+	// budget, meters; both zero leaves budgets unlimited.
+	ChargerBudgetMin, ChargerBudgetMax float64
 }
 
 // Default returns the calibrated simulation parameters (see DESIGN.md:
@@ -134,6 +149,18 @@ func (p Params) Validate() error {
 		return fmt.Errorf("gen: tariff exponent %v outside (0,1]", p.TariffExponent)
 	case p.EfficiencyMin <= 0 || p.EfficiencyMax > 1 || p.EfficiencyMax < p.EfficiencyMin:
 		return fmt.Errorf("gen: efficiency range [%v,%v]", p.EfficiencyMin, p.EfficiencyMax)
+	case p.MobileFrac < 0 || p.MobileFrac > 1 || math.IsNaN(p.MobileFrac):
+		return fmt.Errorf("gen: mobile fraction %v outside [0,1]", p.MobileFrac)
+	}
+	if p.MobileFrac > 0 {
+		switch {
+		case p.ChargerMoveRateMin < 0 || p.ChargerMoveRateMax < p.ChargerMoveRateMin:
+			return fmt.Errorf("gen: charger move rate range [%v,%v]", p.ChargerMoveRateMin, p.ChargerMoveRateMax)
+		case p.ChargerSpeedMin < 0 || p.ChargerSpeedMax < p.ChargerSpeedMin:
+			return fmt.Errorf("gen: charger speed range [%v,%v]", p.ChargerSpeedMin, p.ChargerSpeedMax)
+		case p.ChargerBudgetMin < 0 || p.ChargerBudgetMax < p.ChargerBudgetMin:
+			return fmt.Errorf("gen: charger travel budget range [%v,%v]", p.ChargerBudgetMin, p.ChargerBudgetMax)
+		}
 	}
 	return nil
 }
@@ -196,10 +223,56 @@ func Instance(seed int64, p Params) (*core.Instance, error) {
 			Efficiency: rng.Uniform(chR, p.EfficiencyMin, p.EfficiencyMax),
 		})
 	}
+	if p.MobileFrac > 0 {
+		// A separate derived stream keeps the device/charger base draws
+		// byte-identical whether mobility is on or off, and a fixed draw
+		// count per charger keeps the stream aligned regardless of which
+		// chargers are selected.
+		mobR := rng.Derive(seed, "mobility")
+		for j := range in.Chargers {
+			selected := mobR.Float64() < p.MobileFrac
+			moveRate := rng.Uniform(mobR, p.ChargerMoveRateMin, p.ChargerMoveRateMax)
+			speed := rng.Uniform(mobR, p.ChargerSpeedMin, p.ChargerSpeedMax)
+			budget := rng.Uniform(mobR, p.ChargerBudgetMin, p.ChargerBudgetMax)
+			if !selected {
+				continue
+			}
+			c := &in.Chargers[j]
+			c.Mobile = true
+			c.MoveRate = moveRate
+			c.Speed = speed
+			if p.ChargerBudgetMax > 0 {
+				c.TravelBudget = budget
+			}
+		}
+	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("gen: generated invalid instance: %w", err)
 	}
 	return in, nil
+}
+
+// HeterogeneousFleet returns Default() parameters with devices/chargers
+// populations and a mobile fraction of the fleet: a mobile charger is a
+// service van hauling an energy store, so its per-meter rate is several
+// times a single sensor's (roughly the cost of moving the whole session's
+// energy at once) at a few m/s, with per-session travel budgets generous
+// enough that every device stays singleton-reachable (budgets at least
+// twice the field diagonal) while long multi-member tours still hit the
+// cap. The pricing makes tour length a first-order term: planners that
+// ignore it pay for the detours they didn't see.
+func HeterogeneousFleet(devices, chargers int, mobileFrac float64) Params {
+	p := Default()
+	p.NumDevices = devices
+	p.NumChargers = chargers
+	p.MobileFrac = mobileFrac
+	p.ChargerMoveRateMin = 0.060
+	p.ChargerMoveRateMax = 0.150
+	p.ChargerSpeedMin = 2
+	p.ChargerSpeedMax = 6
+	p.ChargerBudgetMin = 3000
+	p.ChargerBudgetMax = 4500
+	return p
 }
 
 func place(r *rand.Rand, field geom.Rect, n int, layout Layout, p Params) ([]geom.Point, error) {

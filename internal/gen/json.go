@@ -40,7 +40,9 @@ type DeviceDTO struct {
 	MoveRate float64 `json:"moveRatePerM"`
 }
 
-// ChargerDTO is the wire form of a core.Charger.
+// ChargerDTO is the wire form of a core.Charger. The mobility fields all
+// carry omitempty, so a stationary charger's JSON is byte-identical to
+// the pre-mobility wire form.
 type ChargerDTO struct {
 	ID         string    `json:"id"`
 	X          float64   `json:"x"`
@@ -49,6 +51,12 @@ type ChargerDTO struct {
 	Tariff     TariffDTO `json:"tariff"`
 	Efficiency float64   `json:"efficiency"`
 	Capacity   float64   `json:"capacityJ,omitempty"`
+	Mobile     bool      `json:"mobile,omitempty"`
+	MoveRate   float64   `json:"moveRatePerM,omitempty"`
+	Speed      float64   `json:"speedMPerS,omitempty"`
+	Budget     float64   `json:"travelBudgetM,omitempty"`
+	DepotX     float64   `json:"depotX,omitempty"`
+	DepotY     float64   `json:"depotY,omitempty"`
 }
 
 // InstanceDTO is the wire form of a core.Instance.
@@ -74,6 +82,8 @@ func EncodeInstance(in *core.Instance) ([]byte, error) {
 		dto.Chargers = append(dto.Chargers, ChargerDTO{
 			ID: c.ID, X: c.Pos.X, Y: c.Pos.Y, Fee: c.Fee, Tariff: td,
 			Efficiency: c.Efficiency, Capacity: c.Capacity,
+			Mobile: c.Mobile, MoveRate: c.MoveRate, Speed: c.Speed,
+			Budget: c.TravelBudget, DepotX: c.Depot.X, DepotY: c.Depot.Y,
 		})
 	}
 	return json.MarshalIndent(dto, "", "  ")
@@ -99,6 +109,8 @@ func DecodeInstance(data []byte) (*core.Instance, error) {
 		in.Chargers = append(in.Chargers, core.Charger{
 			ID: c.ID, Pos: geom.Pt(c.X, c.Y), Fee: c.Fee, Tariff: tf,
 			Efficiency: c.Efficiency, Capacity: c.Capacity,
+			Mobile: c.Mobile, MoveRate: c.MoveRate, Speed: c.Speed,
+			TravelBudget: c.Budget, Depot: geom.Pt(c.DepotX, c.DepotY),
 		})
 	}
 	if err := in.Validate(); err != nil {

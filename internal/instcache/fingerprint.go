@@ -57,6 +57,19 @@ func Fingerprint(in *core.Instance) ([32]byte, error) {
 		f64(c.Fee)
 		f64(c.Efficiency)
 		f64(c.Capacity)
+		// Mobility attributes distinguish a mobile charger from its
+		// stationary twin; without them the cache would serve the
+		// wrong variant's schedule.
+		if c.Mobile {
+			u64(1)
+		} else {
+			u64(0)
+		}
+		f64(c.MoveRate)
+		f64(c.Speed)
+		f64(c.TravelBudget)
+		f64(c.Depot.X)
+		f64(c.Depot.Y)
 		switch tf := c.Tariff.(type) {
 		case pricing.Linear:
 			str("linear")

@@ -122,6 +122,18 @@ type Config struct {
 	// instruments at zero cost, and the returned Metrics are identical
 	// either way.
 	Obs *obs.Registry
+	// CoverageK, when >= 1, validates every round's schedule against the
+	// k-coverage layer (core.ValidateKCoverage): each of the round's
+	// devices must be within CoverageRadius of at least CoverageK active
+	// sessions. Violations are counted per round (Metrics.
+	// CoverageViolations, RoundStat.CoverageOK), not fatal — an online
+	// batch can legitimately be too sparse to cover. Requires
+	// CoverageRadius > 0; not supported together with Shard (coverage is
+	// a whole-field property). Zero disables the check and leaves every
+	// output byte unchanged.
+	CoverageK int
+	// CoverageRadius is the k-coverage reach, meters. See CoverageK.
+	CoverageRadius float64
 }
 
 // obsInstruments holds the run's registered metrics; every field is a
@@ -133,6 +145,7 @@ type obsInstruments struct {
 	switches  *obs.Counter
 	unstable  *obs.Counter
 	misses    *obs.Counter
+	uncovered *obs.Counter
 	batchSize *obs.Histogram
 }
 
@@ -149,6 +162,7 @@ func (cfg Config) instruments() obsInstruments {
 		switches:  cfg.Obs.Counter("online_switches_total", "scheduler", name),
 		unstable:  cfg.Obs.Counter("online_unstable_rounds_total", "scheduler", name),
 		misses:    cfg.Obs.Counter("online_deadline_misses_total", "scheduler", name),
+		uncovered: cfg.Obs.Counter("online_coverage_violations_total", "scheduler", name),
 		batchSize: cfg.Obs.Histogram("online_batch_devices", []float64{1, 2, 4, 8, 16, 32, 64}, "scheduler", name),
 	}
 }
@@ -167,6 +181,10 @@ type RoundStat struct {
 	// NashStable reports whether the round's assignment was verified to
 	// be a pure Nash equilibrium (of each shard's game when sharded).
 	NashStable bool
+	// CoverageOK reports whether the round's schedule satisfied the
+	// configured k-coverage requirement; always true when Config.
+	// CoverageK is zero (check disabled).
+	CoverageOK bool
 	// Shards, Replicated and Reassigned are the spatial-decomposition
 	// diagnostics when Config.Shard is enabled (see shard.Result); all
 	// zero otherwise.
@@ -190,6 +208,9 @@ type Metrics struct {
 	// DeadlineMisses counts devices served after their deadline (zero
 	// under any correct policy/guard combination).
 	DeadlineMisses int
+	// CoverageViolations counts rounds whose schedule failed the
+	// configured k-coverage check; zero when CoverageK is zero.
+	CoverageViolations int
 	// TotalPasses and TotalSwitches sum the per-round solver diagnostics
 	// across all rounds; zero when the scheduler reports none.
 	TotalPasses   int
@@ -228,6 +249,16 @@ func Run(cfg Config) (*Metrics, error) {
 			return nil, fmt.Errorf("online: %w", err)
 		}
 		planner = p
+	}
+	switch {
+	case cfg.CoverageK < 0:
+		return nil, fmt.Errorf("online: negative CoverageK %d", cfg.CoverageK)
+	case cfg.CoverageK > 0 && planner != nil:
+		return nil, errors.New("online: CoverageK is not supported with Shard (k-coverage is a whole-field property)")
+	case cfg.CoverageK > 0 && (!(cfg.CoverageRadius > 0) || math.IsInf(cfg.CoverageRadius, 1)):
+		return nil, fmt.Errorf("online: CoverageK %d requires a positive finite CoverageRadius, got %v", cfg.CoverageK, cfg.CoverageRadius)
+	case cfg.CoverageK == 0 && cfg.CoverageRadius != 0:
+		return nil, fmt.Errorf("online: CoverageRadius %v set without CoverageK", cfg.CoverageRadius)
 	}
 	guard := cfg.DeadlineGuard
 	if guard <= 0 {
@@ -331,6 +362,7 @@ func Run(cfg Config) (*Metrics, error) {
 				Passes:     res.Passes,
 				Switches:   res.Switches,
 				NashStable: res.NashStable,
+				CoverageOK: true, // coverage check is incompatible with Shard
 				Shards:     res.Shards,
 				Replicated: res.Replicated,
 				Reassigned: res.Reassigned,
@@ -382,6 +414,7 @@ func Run(cfg Config) (*Metrics, error) {
 				Passes:     res.Passes,
 				Switches:   res.Switches,
 				NashStable: res.NashStable,
+				CoverageOK: true,
 			})
 			ins.passes.Add(uint64(res.Passes))
 			ins.switches.Add(uint64(res.Switches))
@@ -392,6 +425,17 @@ func Run(cfg Config) (*Metrics, error) {
 			sched, err = cfg.Scheduler.Schedule(cm)
 			if err != nil {
 				return fmt.Errorf("online: round at %v: %w", now, err)
+			}
+		}
+		if cfg.CoverageK > 0 {
+			// A violation is diagnostic, not fatal: an online batch can
+			// legitimately be too sparse to k-cover the field.
+			if cerr := cm.ValidateKCoverage(sched, cfg.CoverageK, cfg.CoverageRadius); cerr != nil {
+				m.CoverageViolations++
+				ins.uncovered.Inc()
+				if warmOK {
+					m.RoundStats[len(m.RoundStats)-1].CoverageOK = false
+				}
 			}
 		}
 		m.TotalCost += cm.TotalCost(sched)

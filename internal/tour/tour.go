@@ -8,10 +8,52 @@ package tour
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/geom"
 )
+
+// ErrNoStops reports an empty stop list where at least one stop is
+// required (BruteForce). Plan treats zero stops as a valid idle tour.
+var ErrNoStops = errors.New("tour: no stops")
+
+// BadStopError reports a stop (or the start, Index == -1) with
+// non-finite coordinates. NaN poisons every distance comparison, so
+// planning over such points cannot produce a meaningful order.
+type BadStopError struct {
+	// Index is the offending stop's index, or -1 for the start point.
+	Index int
+	// Point is the offending coordinate pair.
+	Point geom.Point
+}
+
+func (e *BadStopError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("tour: start has non-finite coordinates (%v, %v)", e.Point.X, e.Point.Y)
+	}
+	return fmt.Sprintf("tour: stop %d has non-finite coordinates (%v, %v)", e.Index, e.Point.X, e.Point.Y)
+}
+
+// finite reports whether both coordinates are finite (no NaN, no ±Inf).
+func finite(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// validate checks the start and every stop for finite coordinates,
+// returning a *BadStopError for the first offender.
+func validate(start geom.Point, stops []geom.Point) error {
+	if !finite(start) {
+		return &BadStopError{Index: -1, Point: start}
+	}
+	for i, p := range stops {
+		if !finite(p) {
+			return &BadStopError{Index: i, Point: p}
+		}
+	}
+	return nil
+}
 
 // Length returns the round-trip length of the tour start → stops[order[0]]
 // → … → stops[order[k-1]] → start.
@@ -27,7 +69,10 @@ func Length(start geom.Point, stops []geom.Point, order []int) float64 {
 }
 
 // NearestNeighbor builds a visiting order greedily: from the current
-// position, always go to the nearest unvisited stop.
+// position, always go to the nearest unvisited stop. Stops whose distance
+// is not comparable (NaN coordinates make every `<` false) are appended
+// deterministically in ascending index order rather than panicking; use
+// Plan to reject such inputs with a typed error instead.
 func NearestNeighbor(start geom.Point, stops []geom.Point) []int {
 	n := len(stops)
 	order := make([]int, 0, n)
@@ -43,6 +88,17 @@ func NearestNeighbor(start geom.Point, stops []geom.Point) []int {
 				best, bestD = i, d
 			}
 		}
+		if best < 0 {
+			// Every remaining distance was NaN: fall back to the
+			// lowest-index unvisited stop so the result stays a
+			// permutation.
+			for i := range visited {
+				if !visited[i] {
+					best = i
+					break
+				}
+			}
+		}
 		visited[best] = true
 		order = append(order, best)
 		cur = stops[best]
@@ -53,16 +109,41 @@ func NearestNeighbor(start geom.Point, stops []geom.Point) []int {
 // TwoOpt improves a tour by repeatedly reversing segments while any
 // reversal shortens the round trip. The input order is not modified; the
 // returned order is a permutation of it with Length no greater.
+//
+// All pairwise endpoint distances are precomputed once — the sweep loop
+// is O(n²) comparisons per pass, and recomputing math.Hypot for every
+// candidate swap dominated the planner's profile before memoization.
 func TwoOpt(start geom.Point, stops []geom.Point, order []int) []int {
 	out := append([]int(nil), order...)
 	if len(out) < 3 {
 		return out
 	}
-	pos := func(i int) geom.Point {
-		if i < 0 || i >= len(out) {
+	// dist[a*(n+1)+b] is the distance between points a and b, where
+	// indices 0..n-1 are stops and index n is the start. math.Hypot is
+	// symmetric in its (absolute-valued) arguments, so storing one
+	// evaluation per unordered pair reproduces the direct Dist calls
+	// bit for bit.
+	n := len(stops)
+	dist := make([]float64, (n+1)*(n+1))
+	point := func(a int) geom.Point {
+		if a == n {
 			return start
 		}
-		return stops[out[i]]
+		return stops[a]
+	}
+	for a := 0; a <= n; a++ {
+		pa := point(a)
+		for b := a + 1; b <= n; b++ {
+			d := pa.Dist(point(b))
+			dist[a*(n+1)+b] = d
+			dist[b*(n+1)+a] = d
+		}
+	}
+	at := func(i int) int {
+		if i < 0 || i >= len(out) {
+			return n
+		}
+		return out[i]
 	}
 	improved := true
 	for improved {
@@ -71,8 +152,8 @@ func TwoOpt(start geom.Point, stops []geom.Point, order []int) []int {
 			for j := i + 1; j < len(out); j++ {
 				// Reversing out[i..j] replaces edges (i-1,i) and (j,j+1)
 				// with (i-1,j) and (i,j+1).
-				before := pos(i-1).Dist(pos(i)) + pos(j).Dist(pos(j+1))
-				after := pos(i-1).Dist(pos(j)) + pos(i).Dist(pos(j+1))
+				before := dist[at(i-1)*(n+1)+at(i)] + dist[at(j)*(n+1)+at(j+1)]
+				after := dist[at(i-1)*(n+1)+at(j)] + dist[at(i)*(n+1)+at(j+1)]
 				if after < before-1e-12 {
 					reverse(out[i : j+1])
 					improved = true
@@ -84,24 +165,35 @@ func TwoOpt(start geom.Point, stops []geom.Point, order []int) []int {
 }
 
 // Plan returns a good round-trip visiting order for the stops: nearest
-// neighbor refined by 2-opt, with its length.
+// neighbor refined by 2-opt, with its length. Zero stops are a valid idle
+// tour — an empty order with length 0 — so schedulers may call Plan for
+// every charger every round without special-casing the idle ones.
+// Non-finite coordinates in the start or any stop yield a *BadStopError.
 func Plan(start geom.Point, stops []geom.Point) ([]int, float64, error) {
+	if err := validate(start, stops); err != nil {
+		return nil, 0, err
+	}
 	if len(stops) == 0 {
-		return nil, 0, errors.New("tour: no stops")
+		return []int{}, 0, nil
 	}
 	order := TwoOpt(start, stops, NearestNeighbor(start, stops))
 	return order, Length(start, stops, order), nil
 }
 
 // BruteForce finds the optimal visiting order by enumeration; factorial,
-// for tests and tiny tours only (≤ 10 stops).
+// for tests and tiny tours only (≤ 10 stops). Unlike Plan it rejects an
+// empty stop list (ErrNoStops): an exact optimum over nothing is a caller
+// bug, not an idle tour.
 func BruteForce(start geom.Point, stops []geom.Point) ([]int, float64, error) {
 	n := len(stops)
 	if n == 0 {
-		return nil, 0, errors.New("tour: no stops")
+		return nil, 0, ErrNoStops
 	}
 	if n > 10 {
 		return nil, 0, errors.New("tour: brute force limited to 10 stops")
+	}
+	if err := validate(start, stops); err != nil {
+		return nil, 0, err
 	}
 	cur := make([]int, n)
 	for i := range cur {

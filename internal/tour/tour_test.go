@@ -1,6 +1,7 @@
 package tour
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -121,13 +122,161 @@ func TestPlanSingleStop(t *testing.T) {
 }
 
 func TestPlanValidation(t *testing.T) {
-	if _, _, err := Plan(geom.Pt(0, 0), nil); err == nil {
-		t.Error("no stops should error")
+	// Zero stops is a valid idle tour for Plan: schedulers call it for
+	// every charger every round, including the ones with nothing to serve.
+	order, length, err := Plan(geom.Pt(0, 0), nil)
+	if err != nil {
+		t.Errorf("Plan with no stops: %v, want idle tour", err)
 	}
-	if _, _, err := BruteForce(geom.Pt(0, 0), nil); err == nil {
-		t.Error("brute force no stops should error")
+	if len(order) != 0 || length != 0 {
+		t.Errorf("Plan idle tour = %v, %v; want empty order, length 0", order, length)
+	}
+	// BruteForce keeps the hard error: an exact optimum over nothing is a
+	// caller bug.
+	if _, _, err := BruteForce(geom.Pt(0, 0), nil); !errors.Is(err, ErrNoStops) {
+		t.Errorf("brute force no stops err = %v, want ErrNoStops", err)
 	}
 	if _, _, err := BruteForce(geom.Pt(0, 0), randStops(rand.New(rand.NewSource(1)), 11)); err == nil {
 		t.Error("brute force 11 stops should error")
+	}
+}
+
+// TestNearestNeighborNonFiniteStops is the regression test for the
+// visited[-1] panic: with NaN coordinates every distance comparison is
+// false, `best` stayed -1, and NearestNeighbor indexed out of range. The
+// fix appends incomparable stops deterministically in ascending index
+// order; the pre-fix code fails this test with a panic.
+func TestNearestNeighborNonFiniteStops(t *testing.T) {
+	stops := []geom.Point{
+		geom.Pt(math.NaN(), 1),
+		geom.Pt(5, 5),
+		geom.Pt(math.NaN(), math.NaN()),
+		geom.Pt(1, 1),
+	}
+	order := NearestNeighbor(geom.Pt(0, 0), stops)
+	if !isPermutation(order, len(stops)) {
+		t.Fatalf("order %v is not a permutation", order)
+	}
+	// The finite stops are visited nearest-first, then the NaN stops in
+	// ascending index order. (After visiting a NaN stop the current
+	// position is NaN too, so everything after it falls back to index
+	// order.)
+	want := []int{3, 1, 0, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	// All-NaN input must not panic either.
+	all := []geom.Point{geom.Pt(math.NaN(), 0), geom.Pt(math.NaN(), 0)}
+	if got := NearestNeighbor(geom.Pt(0, 0), all); !isPermutation(got, 2) {
+		t.Fatalf("all-NaN order %v is not a permutation", got)
+	}
+}
+
+func TestPlanRejectsNonFiniteCoordinates(t *testing.T) {
+	cases := []struct {
+		name  string
+		start geom.Point
+		stops []geom.Point
+		index int
+	}{
+		{"nan stop", geom.Pt(0, 0), []geom.Point{geom.Pt(1, 1), geom.Pt(math.NaN(), 2)}, 1},
+		{"inf stop", geom.Pt(0, 0), []geom.Point{geom.Pt(math.Inf(1), 0)}, 0},
+		{"nan start", geom.Pt(math.NaN(), 0), []geom.Point{geom.Pt(1, 1)}, -1},
+	}
+	for _, tc := range cases {
+		_, _, err := Plan(tc.start, tc.stops)
+		var bad *BadStopError
+		if !errors.As(err, &bad) {
+			t.Errorf("%s: err = %v, want *BadStopError", tc.name, err)
+			continue
+		}
+		if bad.Index != tc.index {
+			t.Errorf("%s: Index = %d, want %d", tc.name, bad.Index, tc.index)
+		}
+		if _, _, err := BruteForce(tc.start, tc.stops); err == nil {
+			t.Errorf("%s: BruteForce accepted non-finite input", tc.name)
+		}
+	}
+}
+
+// twoOptReference is the pre-memoization TwoOpt, kept verbatim as the
+// equivalence oracle: the memoized version must reproduce its output
+// byte for byte on every input.
+func twoOptReference(start geom.Point, stops []geom.Point, order []int) []int {
+	out := append([]int(nil), order...)
+	if len(out) < 3 {
+		return out
+	}
+	pos := func(i int) geom.Point {
+		if i < 0 || i >= len(out) {
+			return start
+		}
+		return stops[out[i]]
+	}
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i < len(out)-1; i++ {
+			for j := i + 1; j < len(out); j++ {
+				before := pos(i-1).Dist(pos(i)) + pos(j).Dist(pos(j+1))
+				after := pos(i-1).Dist(pos(j)) + pos(i).Dist(pos(j+1))
+				if after < before-1e-12 {
+					reverse(out[i : j+1])
+					improved = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestTwoOptMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(24)
+		stops := randStops(r, n)
+		start := geom.Pt(r.Float64()*100, r.Float64()*100)
+		nn := NearestNeighbor(start, stops)
+		got := TwoOpt(start, stops, nn)
+		want := twoOptReference(start, stops, nn)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length %d vs %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: memoized TwoOpt diverged from reference:\n got %v\nwant %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkTourPlan(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	stops := randStops(r, 48)
+	start := geom.Pt(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Plan(start, stops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTourPlanReference is BenchmarkTourPlan's control: the same
+// 48-stop workload through the preserved pre-memoization 2-opt, so the
+// distance-table speedup stays visible in every bench run.
+func BenchmarkTourPlanReference(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	stops := randStops(r, 48)
+	start := geom.Pt(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		order := NearestNeighbor(start, stops)
+		order = twoOptReference(start, stops, order)
+		if len(order) != len(stops) {
+			b.Fatal("bad order")
+		}
 	}
 }
